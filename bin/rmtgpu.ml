@@ -1,0 +1,382 @@
+(* rmtgpu — command-line front end for the GPU-RMT reproduction.
+
+   Subcommands:
+     list                        list benchmarks
+     dump    <bench> [variant]   print the (transformed) kernel IR
+     run     <bench> [variant]   simulate and report cycles/counters
+     inject  <bench> <variant> <target> [n]  fault-injection campaign
+     exp     <name>              regenerate one table/figure (table1..fig9,
+                                 coverage, all) *)
+
+module T = Rmt_core.Transform
+
+let variants =
+  [
+    ("original", T.Original);
+    ("intra+lds", T.intra_plus_lds);
+    ("intra-lds", T.intra_minus_lds);
+    ("intra+lds-fast", T.intra_plus_lds_fast);
+    ("intra-lds-fast", T.intra_minus_lds_fast);
+    ("inter", T.inter_group);
+  ]
+
+let variant_conv =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) variants with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown variant %s (one of: %s)" s
+               (String.concat ", " (List.map fst variants))))
+  in
+  let print fmt v = Format.pp_print_string fmt (T.name v) in
+  Cmdliner.Arg.conv (parse, print)
+
+let bench_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun (b : Kernels.Bench.t) -> String.lowercase_ascii b.id = String.lowercase_ascii s)
+        Kernels.Registry.all
+    with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %s (one of: %s)" s
+               (String.concat ", "
+                  (List.map (fun (b : Kernels.Bench.t) -> b.id) Kernels.Registry.all))))
+  in
+  let print fmt (b : Kernels.Bench.t) = Format.pp_print_string fmt b.id in
+  Cmdliner.Arg.conv (parse, print)
+
+(* ---------------- list ---------------- *)
+
+let do_list () =
+  List.iter
+    (fun (b : Kernels.Bench.t) ->
+      let k = b.make_kernel () in
+      let stats = Gpu_ir.Stats.collect k in
+      Printf.printf "%-8s %-22s %-16s %s\n" b.id b.name
+        (Kernels.Bench.character_name b.character)
+        (Gpu_ir.Stats.to_string stats))
+    Kernels.Registry.all
+
+(* ---------------- dump ---------------- *)
+
+let do_dump (b : Kernels.Bench.t) variant ~alloc ~optimize =
+  let dev = Gpu_sim.Device.create Gpu_sim.Config.default in
+  let prep = b.prepare dev ~scale:1 in
+  let nd = (List.hd prep.Kernels.Bench.steps).Kernels.Bench.nd in
+  let k = Harness.Run.transformed_kernel ~optimize b variant ~nd in
+  if alloc then print_string (Gpu_ir.Regalloc.annotate k)
+  else print_string (Gpu_ir.Pp.kernel_to_string k);
+  let u = Gpu_ir.Regpressure.analyze k in
+  Printf.printf "\nresources: %s\n" (Gpu_ir.Regpressure.pp_usage u)
+
+(* ---------------- run ---------------- *)
+
+let do_run (b : Kernels.Bench.t) variant scale =
+  let s = Harness.Run.run ~scale b variant in
+  let cfg = Gpu_sim.Config.default in
+  Printf.printf "%s under %s: %d cycles over %d launches (%s, verified=%b)\n"
+    b.id (T.name variant) s.cycles s.steps
+    (Harness.Run.outcome_name s.outcome)
+    s.verified;
+  Printf.printf "occupancy: %s\n" (Gpu_sim.Occupancy.to_string s.occupancy);
+  Printf.printf "resources: %s\n" (Gpu_ir.Regpressure.pp_usage s.usage);
+  let c = s.counters in
+  Printf.printf
+    "counters: VALUBusy=%.1f%% MemUnitBusy=%.1f%% WriteUnitStalled=%.1f%% \
+     LDSBusy=%.1f%%\n"
+    (Gpu_sim.Counters.valu_busy_pct ~n_cus:cfg.n_cus
+       ~simds_per_cu:cfg.simds_per_cu c)
+    (Gpu_sim.Counters.mem_unit_busy_pct ~n_cus:cfg.n_cus c)
+    (Gpu_sim.Counters.write_unit_stalled_pct ~n_cus:cfg.n_cus c)
+    (Gpu_sim.Counters.lds_busy_pct ~n_cus:cfg.n_cus c);
+  Printf.printf
+    "          valu=%d salu=%d vmem=%d lds=%d atomics=%d barriers=%d\n"
+    c.valu_insts c.salu_insts c.vmem_insts c.lds_insts c.atomics
+    c.barriers_executed;
+  let rep =
+    Gpu_power.Power_model.report ~cfg ~windows:s.windows ~fallback:s.counters ()
+  in
+  Printf.printf "power: avg %.1f W, peak %.1f W\n" rep.average_w rep.peak_w
+
+(* ---------------- inject ---------------- *)
+
+let targets =
+  [
+    ("vgpr", Gpu_sim.Device.T_vgpr);
+    ("sgpr", Gpu_sim.Device.T_sgpr);
+    ("lds", Gpu_sim.Device.T_lds);
+    ("l1", Gpu_sim.Device.T_l1);
+  ]
+
+let target_conv =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) targets with
+    | Some t -> Ok t
+    | None -> Error (`Msg "target must be one of: vgpr, sgpr, lds, l1")
+  in
+  let print fmt t =
+    Format.pp_print_string fmt
+      (match t with
+      | Gpu_sim.Device.T_vgpr -> "vgpr"
+      | Gpu_sim.Device.T_sgpr -> "sgpr"
+      | Gpu_sim.Device.T_lds -> "lds"
+      | Gpu_sim.Device.T_l1 -> "l1")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let do_inject (b : Kernels.Bench.t) variant target n =
+  let ctx = Harness.Experiments.create_ctx () in
+  let e = Harness.Experiments.coverage_experiment ctx b variant in
+  let t = Fault.Campaign.run ~n ~target ~seed:97 e in
+  Printf.printf "%s under %s: %s%s\n" b.id (T.name variant)
+    (Fault.Campaign.tally_to_string t)
+    (if Fault.Campaign.covered t then "  [covered]" else "")
+
+(* ---------------- runfile ---------------- *)
+
+(* Run a kernel written in the IR's text format. Arguments are declared
+   positionally with --arg, matching the kernel's parameter order:
+     --arg buf:WORDS[:zero|index|findex|i32=V|f32=X]   a global buffer
+     --arg i32:V / --arg f32:X                         a scalar
+   --show IDX:LO:HI[:f32] prints a buffer slice afterwards. *)
+
+type runfile_arg =
+  | RA_buf of int * [ `Zero | `Index | `Findex | `I32 of int | `F32 of float ]
+  | RA_i32 of int
+  | RA_f32 of float
+
+let parse_runfile_arg sp =
+  let parts = String.split_on_char ':' sp in
+  match parts with
+  | [ "i32"; v ] -> Ok (RA_i32 (int_of_string v))
+  | [ "f32"; x ] -> Ok (RA_f32 (float_of_string x))
+  | "buf" :: words :: rest -> (
+      let words = int_of_string words in
+      match rest with
+      | [] | [ "zero" ] -> Ok (RA_buf (words, `Zero))
+      | [ "index" ] -> Ok (RA_buf (words, `Index))
+      | [ "findex" ] -> Ok (RA_buf (words, `Findex))
+      | [ init ] -> (
+          match String.split_on_char '=' init with
+          | [ "i32"; v ] -> Ok (RA_buf (words, `I32 (int_of_string v)))
+          | [ "f32"; x ] -> Ok (RA_buf (words, `F32 (float_of_string x)))
+          | _ -> Error (`Msg ("bad buffer initializer " ^ init)))
+      | _ -> Error (`Msg ("bad --arg " ^ sp)))
+  | _ -> Error (`Msg ("bad --arg " ^ sp))
+
+let runfile_arg_conv =
+  Cmdliner.Arg.conv
+    ( (fun sp -> try parse_runfile_arg sp with _ -> Error (`Msg ("bad --arg " ^ sp))),
+      fun fmt _ -> Format.pp_print_string fmt "<arg>" )
+
+let parse_show sp =
+  match String.split_on_char ':' sp with
+  | [ i; lo; hi ] -> Ok (int_of_string i, int_of_string lo, int_of_string hi, false)
+  | [ i; lo; hi; "f32" ] ->
+      Ok (int_of_string i, int_of_string lo, int_of_string hi, true)
+  | _ -> Error (`Msg ("bad --show " ^ sp))
+
+let show_conv =
+  Cmdliner.Arg.conv
+    ( (fun sp -> try parse_show sp with _ -> Error (`Msg ("bad --show " ^ sp))),
+      fun fmt _ -> Format.pp_print_string fmt "<show>" )
+
+let do_runfile path variant global local arg_specs shows =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let k0 =
+    try Gpu_ir.Parse.kernel_of_string_checked src with
+    | Gpu_ir.Parse.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 1
+    | Gpu_ir.Verify.Invalid msg ->
+        Printf.eprintf "%s: verification failed: %s\n" path msg;
+        exit 1
+  in
+  let k =
+    try T.apply variant ~local_items:local k0
+    with Rmt_core.Intra_group.Unsupported msg ->
+      Printf.eprintf "cannot apply %s: %s\n" (T.name variant) msg;
+      exit 1
+  in
+  let dev = Gpu_sim.Device.create Gpu_sim.Config.default in
+  let nd0 = Gpu_sim.Geom.make_ndrange global local in
+  let nd = T.map_ndrange variant nd0 in
+  let buffers = Hashtbl.create 8 in
+  let args =
+    List.mapi
+      (fun i spec ->
+        match spec with
+        | RA_buf (words, init) ->
+            let b = Gpu_sim.Device.alloc dev (words * 4) in
+            for j = 0 to words - 1 do
+              match init with
+              | `Zero -> Gpu_sim.Device.write_i32 dev b j 0
+              | `Index -> Gpu_sim.Device.write_i32 dev b j j
+              | `Findex -> Gpu_sim.Device.write_f32 dev b j (float_of_int j)
+              | `I32 v -> Gpu_sim.Device.write_i32 dev b j v
+              | `F32 x -> Gpu_sim.Device.write_f32 dev b j x
+            done;
+            Hashtbl.replace buffers i (b, words);
+            Gpu_sim.Device.A_buf b
+        | RA_i32 v -> Gpu_sim.Device.A_i32 v
+        | RA_f32 x -> Gpu_sim.Device.A_f32 x)
+      arg_specs
+  in
+  let args = args @ T.extra_args variant dev ~nd:nd0 in
+  let r = Gpu_sim.Device.launch dev k ~nd ~args in
+  Printf.printf "%s under %s: %d cycles (%s)\n" k0.Gpu_ir.Types.kname
+    (T.name variant) r.Gpu_sim.Device.cycles
+    (Harness.Run.outcome_name r.Gpu_sim.Device.outcome);
+  List.iter
+    (fun (idx, lo, hi, as_f32) ->
+      match Hashtbl.find_opt buffers idx with
+      | None -> Printf.eprintf "no buffer at parameter %d\n" idx
+      | Some (b, words) ->
+          let hi = min hi words in
+          Printf.printf "param %d [%d..%d):" idx lo hi;
+          for i = lo to hi - 1 do
+            if as_f32 then Printf.printf " %g" (Gpu_sim.Device.read_f32 dev b i)
+            else Printf.printf " %d" (Gpu_sim.Device.read_i32 dev b i)
+          done;
+          print_newline ())
+    shows
+
+(* ---------------- exp ---------------- *)
+
+let do_exp name quick =
+  let ctx = Harness.Experiments.create_ctx ~quick () in
+  let table =
+    [
+      ("table1", fun () -> Harness.Experiments.table1 ());
+      ("table2", fun () -> Harness.Experiments.table2 ());
+      ("table3", fun () -> Harness.Experiments.table3 ());
+      ("fig2", fun () -> Harness.Experiments.fig2 ctx);
+      ("fig3", fun () -> Harness.Experiments.fig3 ctx);
+      ("fig4", fun () -> Harness.Experiments.fig4 ctx);
+      ("fig5", fun () -> Harness.Experiments.fig5 ctx);
+      ("fig6", fun () -> Harness.Experiments.fig6 ctx);
+      ("fig7", fun () -> Harness.Experiments.fig7 ctx);
+      ("fig8", fun () -> Harness.Experiments.fig8 ());
+      ("fig9", fun () -> Harness.Experiments.fig9 ctx);
+      ("coverage", fun () -> Harness.Experiments.coverage ctx);
+      ("opt", fun () -> Harness.Experiments.opt_ablation ctx);
+      ("tmr", fun () -> Harness.Experiments.tmr ctx);
+      ("wavesize", fun () -> Harness.Experiments.wavesize ctx);
+      ("naive", fun () -> Harness.Experiments.naive ctx);
+      ("schedpolicy", fun () -> Harness.Experiments.schedpolicy ctx);
+      ("occupancy", fun () -> Harness.Experiments.occupancy ctx);
+      ("pool", fun () -> Harness.Experiments.pool ctx);
+      ("devscale", fun () -> Harness.Experiments.devscale ctx);
+      ("explain", fun () -> Harness.Experiments.explain ctx);
+      ("compare", fun () -> Harness.Experiments.paper_compare ctx);
+      ("export", fun () -> Harness.Experiments.export ctx);
+      ("all", fun () -> Harness.Experiments.all ctx);
+    ]
+  in
+  match List.assoc_opt name table with
+  | Some f ->
+      print_string (f ());
+      `Ok ()
+  | None ->
+      `Error
+        ( false,
+          "unknown experiment (table1-3, fig2-9, coverage, occupancy, \
+           explain, opt, tmr, wavesize, naive, schedpolicy, pool, devscale, \
+           compare, export, all)" )
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+open Cmdliner
+
+(* -v enables the simulator's scheduler-event log (gpu.device source) *)
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_flag =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace scheduler events")
+
+let bench_arg = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
+
+let variant_arg ~pos:p =
+  Arg.(value & pos p variant_conv T.Original & info [] ~docv:"VARIANT")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels")
+    Term.(const do_list $ const ())
+
+let dump_cmd =
+  let alloc =
+    Arg.(value & flag & info [ "alloc" ] ~doc:"Annotate with physical registers")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "O" ] ~doc:"Run the optimizer pipeline first")
+  in
+  let dump b v alloc optimize = do_dump b v ~alloc ~optimize in
+  Cmd.v (Cmd.info "dump" ~doc:"Print a (transformed) kernel's IR")
+    Term.(const dump $ bench_arg $ variant_arg ~pos:1 $ alloc $ optimize)
+
+let run_cmd =
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem-size multiplier")
+  in
+  let run verbose b v s =
+    setup_logs verbose;
+    do_run b v s
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a benchmark under an RMT variant")
+    Term.(const run $ verbose_flag $ bench_arg $ variant_arg ~pos:1 $ scale)
+
+let inject_cmd =
+  let variant =
+    Arg.(required & pos 1 (some variant_conv) None & info [] ~docv:"VARIANT")
+  in
+  let target =
+    Arg.(required & pos 2 (some target_conv) None & info [] ~docv:"TARGET")
+  in
+  let n = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Number of injections") in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
+    Term.(const do_inject $ bench_arg $ variant $ target $ n)
+
+let exp_cmd =
+  let exp_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXP")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced fault campaigns")
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate a table or figure of the paper")
+    Term.(ret (const do_exp $ exp_name $ quick))
+
+let runfile_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let variant =
+    Arg.(value & opt variant_conv T.Original & info [ "variant" ] ~docv:"VARIANT")
+  in
+  let global = Arg.(required & opt (some int) None & info [ "global" ] ~docv:"N") in
+  let local = Arg.(required & opt (some int) None & info [ "local" ] ~docv:"N") in
+  let args =
+    Arg.(value & opt_all runfile_arg_conv [] & info [ "arg" ] ~docv:"SPEC")
+  in
+  let shows =
+    Arg.(value & opt_all show_conv [] & info [ "show" ] ~docv:"IDX:LO:HI[:f32]")
+  in
+  Cmd.v
+    (Cmd.info "runfile" ~doc:"Run a kernel written in the IR text format")
+    Term.(const do_runfile $ path $ variant $ global $ local $ args $ shows)
+
+let () =
+  let info =
+    Cmd.info "rmtgpu" ~version:"1.0.0"
+      ~doc:"Compiler-managed GPU redundant multithreading (ISCA 2014) reproduction"
+  in
+  exit (Cmd.eval (Cmd.group info
+          [ list_cmd; dump_cmd; run_cmd; inject_cmd; exp_cmd; runfile_cmd ]))

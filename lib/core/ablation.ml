@@ -1,0 +1,66 @@
+(** Component-analysis (ablation) support for Figures 4 and 7.
+
+    The paper decomposes each RMT slowdown into three additive parts by
+    running progressively augmented versions of the kernel:
+
+    1. {b Doubling the size of work-groups} — the original kernel with its
+       resource usage artificially inflated so that it schedules exactly
+       like the RMT version ("reserving space for redundant computation
+       without executing redundant work-items");
+    2. {b Adding redundant computation} — the full RMT transform with
+       communication and comparison removed ([Comm_none]);
+    3. {b Adding communication} — the complete transform.
+
+    For Inter-Group RMT, inflation must halve the original occupancy to
+    mimic two physical groups per logical group; as in the paper this is
+    only possible when the RMT version fits an even number of groups per
+    CU — kernels where it cannot be matched are skipped (the starred
+    subset of Figure 7). *)
+
+module Regpressure = Gpu_ir.Regpressure
+
+(** Find a usage override that makes the original kernel schedule exactly
+    [target] groups per CU (forcing the limit through LDS, which composes
+    with any VGPR/SGPR limits as a minimum). Returns [None] when the
+    original occupancy is already at or below [target] (inflation cannot
+    help) or [target] is not reachable. *)
+let usage_for_target_groups (cfg : Gpu_sim.Config.t)
+    ~(base : Regpressure.usage) ~group_items ~target :
+    Regpressure.usage option =
+  if target <= 0 then None
+  else
+    let base_occ = Gpu_sim.Occupancy.compute cfg ~usage:base ~group_items in
+    if base_occ.groups_per_cu <= target then
+      if base_occ.groups_per_cu = target then Some base else None
+    else begin
+      (* smallest LDS charge that yields exactly [target] groups per CU *)
+      let lds = max base.lds ((cfg.lds_per_cu / (target + 1)) + 4) in
+      let candidate = { base with lds } in
+      let occ = Gpu_sim.Occupancy.compute cfg ~usage:candidate ~group_items in
+      if occ.groups_per_cu = target then Some candidate else None
+    end
+
+(** Inflated usage reproducing the Intra-Group "doubled work-groups"
+    experiment: the original NDRange scheduled with the occupancy of the
+    RMT version. [rmt_usage]/[rmt_group_items] describe the transformed
+    kernel. *)
+let intra_inflation (cfg : Gpu_sim.Config.t) ~(orig : Regpressure.usage)
+    ~orig_group_items ~(rmt_usage : Regpressure.usage) ~rmt_group_items :
+    Regpressure.usage option =
+  let rmt_occ =
+    Gpu_sim.Occupancy.compute cfg ~usage:rmt_usage ~group_items:rmt_group_items
+  in
+  usage_for_target_groups cfg ~base:orig ~group_items:orig_group_items
+    ~target:rmt_occ.groups_per_cu
+
+(** Inflated usage for the Inter-Group experiment: the original kernel
+    scheduled with [rmt_groups_per_cu / 2] groups per CU. [None] marks the
+    kernels the paper excludes (odd RMT group count per CU, or occupancy
+    already matching). *)
+let inter_inflation (cfg : Gpu_sim.Config.t) ~(orig : Regpressure.usage)
+    ~group_items ~(rmt_usage : Regpressure.usage) : Regpressure.usage option =
+  let rmt_occ = Gpu_sim.Occupancy.compute cfg ~usage:rmt_usage ~group_items in
+  if rmt_occ.groups_per_cu mod 2 <> 0 then None
+  else
+    usage_for_target_groups cfg ~base:orig ~group_items
+      ~target:(rmt_occ.groups_per_cu / 2)

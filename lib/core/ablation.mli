@@ -1,0 +1,31 @@
+(** Component-analysis (ablation) support for Figures 4 and 7: resource
+    inflation that makes the original kernel schedule like its RMT
+    version, isolating the "doubled work-groups" cost from redundant
+    computation and communication. *)
+
+val usage_for_target_groups :
+  Gpu_sim.Config.t ->
+  base:Gpu_ir.Regpressure.usage ->
+  group_items:int ->
+  target:int ->
+  Gpu_ir.Regpressure.usage option
+(** Usage override making the kernel schedule exactly [target] groups
+    per CU, or [None] when unreachable. *)
+
+val intra_inflation :
+  Gpu_sim.Config.t ->
+  orig:Gpu_ir.Regpressure.usage ->
+  orig_group_items:int ->
+  rmt_usage:Gpu_ir.Regpressure.usage ->
+  rmt_group_items:int ->
+  Gpu_ir.Regpressure.usage option
+(** Inflation reproducing the Intra-Group doubled-work-group experiment. *)
+
+val inter_inflation :
+  Gpu_sim.Config.t ->
+  orig:Gpu_ir.Regpressure.usage ->
+  group_items:int ->
+  rmt_usage:Gpu_ir.Regpressure.usage ->
+  Gpu_ir.Regpressure.usage option
+(** Inter-Group inflation (halved occupancy); [None] marks the kernels
+    the paper excludes (odd RMT group count per CU). *)

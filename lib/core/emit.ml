@@ -1,0 +1,82 @@
+(** Small statement-emission helper used by the RMT rewriting passes.
+
+    A pass rewrites an existing kernel in place of its register space:
+    original registers keep their numbers, and the pass allocates fresh
+    ones above [kernel.nregs] through this context. Helpers mirror the
+    front-end {!Gpu_ir.Builder} but produce plain statement lists that can
+    be spliced into the rewritten body. *)
+
+open Gpu_ir.Types
+
+type t = { mutable next : int; mutable acc : stmt list (* reversed *) }
+
+let create ~nregs = { next = nregs; acc = [] }
+
+let fresh e =
+  let r = e.next in
+  e.next <- r + 1;
+  r
+
+let emit e s = e.acc <- s :: e.acc
+
+(** Take the emitted statements (and reset the accumulator). *)
+let take e =
+  let ss = List.rev e.acc in
+  e.acc <- [];
+  ss
+
+let imm n = Imm (Int32.of_int n)
+
+let unary e mk =
+  let d = fresh e in
+  emit e (I (mk d));
+  Reg d
+
+let iarith e op a b = unary e (fun d -> Iarith (op, d, a, b))
+let add e a b = iarith e Add a b
+let mul e a b = iarith e Mul a b
+let and_ e a b = iarith e And a b
+let or_ e a b = iarith e Or a b
+let shr e a n = iarith e Lshr a (imm n)
+let icmp e op a b = unary e (fun d -> Icmp (op, d, a, b))
+let eq e a b = icmp e Ieq a b
+let ne e a b = icmp e Ine a b
+let mad e a b c = unary e (fun d -> Mad (d, a, b, c))
+let mov e v = unary e (fun d -> Mov (d, v))
+let special e s = unary e (fun d -> Special (s, d))
+let load e sp addr = unary e (fun d -> Load (sp, d, addr))
+let store e sp addr v = emit e (I (Store (sp, addr, v)))
+let atomic e op sp addr v = unary e (fun d -> Atomic (op, sp, d, addr, v))
+let swizzle e kind v = unary e (fun d -> Swizzle (kind, d, v))
+let trap e v = emit e (I (Trap v))
+let arg e idx = unary e (fun d -> Arg (d, idx))
+let barrier e = emit e (I Barrier)
+let fence e sp = emit e (I (Fence sp))
+
+(** Element byte address [base + 4*i]. *)
+let elem e base i = mad e i (imm 4) base
+
+(** Emit nested statements built by [f] under condition [c]. *)
+let if_ e c f g =
+  let saved = e.acc in
+  e.acc <- [];
+  f ();
+  let th = take e in
+  g ();
+  let el = take e in
+  e.acc <- saved;
+  emit e (If (c, th, el))
+
+let when_ e c f = if_ e c f (fun () -> ())
+
+(** Emit a [While] whose header is built by [hf] (returning the condition)
+    and whose body is built by [bf]. *)
+let while_ e hf bf =
+  let saved = e.acc in
+  e.acc <- [];
+  let c = hf () in
+  let header = take e in
+  bf ();
+  let body = take e in
+  e.acc <- saved;
+  emit e (While (header, c, body))

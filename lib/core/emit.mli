@@ -1,0 +1,41 @@
+(** Statement-emission helper used by the RMT rewriting passes: fresh
+    registers above [kernel.nregs] plus builder-like emitters producing
+    plain statement lists to splice into rewritten bodies. *)
+
+open Gpu_ir.Types
+
+type t = { mutable next : int; mutable acc : stmt list }
+
+val create : nregs:int -> t
+val fresh : t -> reg
+val emit : t -> stmt -> unit
+
+val take : t -> stmt list
+(** Return (and clear) the emitted statements. *)
+
+val imm : int -> value
+val unary : t -> (reg -> inst) -> value
+val iarith : t -> ibin -> value -> value -> value
+val add : t -> value -> value -> value
+val mul : t -> value -> value -> value
+val and_ : t -> value -> value -> value
+val or_ : t -> value -> value -> value
+val shr : t -> value -> int -> value
+val icmp : t -> icmp -> value -> value -> value
+val eq : t -> value -> value -> value
+val ne : t -> value -> value -> value
+val mad : t -> value -> value -> value -> value
+val mov : t -> value -> value
+val special : t -> special -> value
+val load : t -> space -> value -> value
+val store : t -> space -> value -> value -> unit
+val atomic : t -> atomic_op -> space -> value -> value -> value
+val swizzle : t -> swizzle -> value -> value
+val trap : t -> value -> unit
+val arg : t -> int -> value
+val barrier : t -> unit
+val fence : t -> space -> unit
+val elem : t -> value -> value -> value
+val if_ : t -> value -> (unit -> unit) -> (unit -> unit) -> unit
+val when_ : t -> value -> (unit -> unit) -> unit
+val while_ : t -> (unit -> value) -> (unit -> unit) -> unit

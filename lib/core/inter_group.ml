@@ -1,0 +1,232 @@
+(** Inter-Group RMT transform (Section 7 of the paper).
+
+    The host doubles the number of work-groups in dimension 0. Redundant
+    pairs span {e work-groups}, so every per-wavefront structure (scalar
+    unit, SRF, fetch/decode, VRF, SIMD, LDS) is duplicated and inside the
+    SoR; only the L1 remains shared.
+
+    Because OpenCL guarantees no scheduling order between work-groups, a
+    naive even/odd split of the given group ids could schedule only
+    consumers and deadlock. As in the paper, each executing work-group
+    therefore {e acquires} its role at runtime from a global atomic
+    counter: the first work-item of the group increments the counter,
+    publishes the acquired id through LDS, and a barrier makes it visible
+    group-wide. The low bit of the acquired id is the producer/consumer
+    flag; the remaining bits form the logical group id from which all
+    global ids and group ids are recomputed.
+
+    Output comparisons must cross work-groups, hence travel through
+    global memory: per logical work-item the communication buffer holds a
+    hand-off flag, an address slot and a value slot. Producers spin until
+    their slot is free, deposit address and value, fence, and set the
+    flag; consumers spin on the flag, read the slots back with
+    [atomic_add 0] (the paper's idiom for an L2-visible read under the
+    write-through, non-coherent L1s), compare, trap on mismatch, release
+    the slot and alone perform the store. *)
+
+open Gpu_ir.Types
+
+(** Output-comparison communication scheme. [Per_item] gives every
+    logical work-item its own (flag, addr, val) slot — deterministic and
+    deadlock-free by construction (the default used in the headline
+    figures; documented as a substitution in DESIGN.md). [Pooled n]
+    implements the paper's actual two-tier locking over a shared pool of
+    [n] buffers: a producer CAS-acquires the buffer its logical id hashes
+    to, deposits tag/address/value, and releases; the consumer spins
+    until its tag appears. Small pools serialize colliding pairs — the
+    contention the paper's scheme is exposed to. [No_comm] is the
+    Figure 7 ablation. *)
+type comm_scheme = Per_item | Pooled of int | No_comm
+
+type opts = { scheme : comm_scheme }
+
+let default = { scheme = Per_item }
+
+let wgid_lds_name = "__rmt_wgid"
+
+exception Unsupported = Intra_group.Unsupported
+
+(** Extra parameters appended by the transform, in order: the global
+    work-group counter (one zero-initialized word) and the communication
+    buffer (three words per logical work-item, zero-initialized). *)
+let extra_params = [ Param_buffer "__rmt_counter"; Param_buffer "__rmt_comm" ]
+
+(** Bytes required for the communication buffer of an original NDRange
+    under the given scheme. *)
+let comm_buffer_bytes ?(scheme = Per_item) (nd : Gpu_sim.Geom.ndrange) =
+  match scheme with
+  | Per_item | No_comm -> 3 * 4 * Gpu_sim.Geom.total_items nd
+  | Pooled n -> 3 * 4 * n
+
+let comm_counter_bytes = 4
+
+(** [transform opts k] rewrites [k] for Inter-Group RMT. The host must
+    launch the result with the dimension-0 global size doubled (local
+    size unchanged) and the two extra buffers appended and zeroed. *)
+let transform (opts : opts) (k : kernel) : kernel =
+  Intra_group.reject_unsupported k;
+  if List.mem_assoc wgid_lds_name k.lds_allocs then
+    raise (Unsupported (wgid_lds_name ^ " LDS allocation already exists"));
+  let np = param_count k in
+  let e = Emit.create ~nregs:k.nregs in
+  (* ---- prelude: acquire the work-group id ---- *)
+  let counter = Emit.arg e np in
+  let comm = Emit.arg e (np + 1) in
+  let lid0 = Emit.special e (Local_id 0) in
+  let lid1 = Emit.special e (Local_id 1) in
+  let lid2 = Emit.special e (Local_id 2) in
+  let lsz0 = Emit.special e (Local_size 0) in
+  let lsz1 = Emit.special e (Local_size 1) in
+  let lsz2 = Emit.special e (Local_size 2) in
+  let row = Emit.mad e lid2 lsz1 lid1 in
+  let flat_lid = Emit.mad e row lsz0 lid0 in
+  let wgid_base = Emit.special e (Lds_base wgid_lds_name) in
+  let is_first = Emit.eq e flat_lid (Emit.imm 0) in
+  Emit.when_ e is_first (fun () ->
+      let acquired = Emit.atomic e A_add Global counter (Emit.imm 1) in
+      Emit.store e Local wgid_base acquired);
+  Emit.barrier e;
+  let wgid = Emit.load e Local wgid_base in
+  let flag = Emit.and_ e wgid (Emit.imm 1) in
+  let is_prod = Emit.eq e flag (Emit.imm 0) in
+  let is_cons = Emit.ne e flag (Emit.imm 0) in
+  let lgrp = Emit.shr e wgid 1 in
+  (* logical group coordinates (dimension-0 group count was doubled) *)
+  let png0 = Emit.special e (Num_groups 0) in
+  let ng0 = Emit.shr e png0 1 in
+  let ng1 = Emit.special e (Num_groups 1) in
+  let ng2 = Emit.special e (Num_groups 2) in
+  let lg0 = Emit.iarith e Rem_u lgrp ng0 in
+  let t1 = Emit.iarith e Div_u lgrp ng0 in
+  let lg1 = Emit.iarith e Rem_u t1 ng1 in
+  let lg2 = Emit.iarith e Div_u t1 ng1 in
+  let lgid0 = Emit.mad e lg0 lsz0 lid0 in
+  let lgid1 = Emit.mad e lg1 lsz1 lid1 in
+  let lgid2 = Emit.mad e lg2 lsz2 lid2 in
+  let pgsz0 = Emit.special e (Global_size 0) in
+  let lgsz0 = Emit.shr e pgsz0 1 in
+  (* communication-slot addresses for this logical work-item *)
+  let group_items = Emit.mul e (Emit.mul e lsz0 lsz1) lsz2 in
+  let ngl = Emit.mul e (Emit.mul e ng0 ng1) ng2 in
+  let total = Emit.mul e ngl group_items in
+  let slot = Emit.mad e lgrp group_items flat_lid in
+  let flag_addr = Emit.mad e slot (Emit.imm 4) comm in
+  let addr_base = Emit.mad e total (Emit.imm 4) comm in
+  let addr_addr = Emit.mad e slot (Emit.imm 4) addr_base in
+  let val_base = Emit.mad e total (Emit.imm 8) comm in
+  let val_addr = Emit.mad e slot (Emit.imm 4) val_base in
+  let prelude = Emit.take e in
+  (* ---- store guarding ---- *)
+  let spin want =
+    Emit.while_ e
+      (fun () ->
+        let t = Emit.atomic e A_add Global flag_addr (Emit.imm 0) in
+        Emit.ne e t (Emit.imm want))
+      (fun () -> ())
+  in
+  (* The paper's pooled buffer acquisition, as a two-phase tag protocol:
+     tier 1 — a producer RESERVES the buffer its logical id hashes to by
+     CAS-ing the tag from 0 (empty) to the negated tag (claimed, not yet
+     full); tier 2 — after depositing address and value it publishes the
+     positive tag, which only its consumer recognizes. The consumer needs
+     no lock at all: a full buffer is exclusively its owner's to drain
+     (producers only claim empty buffers), so it polls the tag, verifies,
+     and releases by writing 0. Buffer layout: [tag; addr; val]. *)
+  let pooled_rendezvous n =
+    let my_tag = Emit.add e slot (Emit.imm 1) in
+    let neg_tag = Emit.iarith e Sub (Emit.imm 0) my_tag in
+    let bufidx = Emit.iarith e Rem_u my_tag (Emit.imm n) in
+    let base = Emit.mad e bufidx (Emit.imm 12) comm in
+    let tag_a = base in
+    let addr_a = Emit.add e base (Emit.imm 4) in
+    let val_a = Emit.add e base (Emit.imm 8) in
+    (my_tag, neg_tag, tag_a, addr_a, val_a)
+  in
+  let guard_store_pooled n addr v : unit =
+    let my_tag, neg_tag, tag_a, addr_a, val_a = pooled_rendezvous n in
+    Emit.when_ e is_prod (fun () ->
+        let dcell = Emit.fresh e in
+        Emit.emit e (I (Mov (dcell, Emit.imm 0)));
+        Emit.while_ e
+          (fun () -> Emit.eq e (Reg dcell) (Emit.imm 0))
+          (fun () ->
+            let old =
+              Emit.unary e (fun d -> Cas (Global, d, tag_a, Emit.imm 0, neg_tag))
+            in
+            Emit.when_ e (Emit.eq e old (Emit.imm 0)) (fun () ->
+                Emit.store e Global addr_a addr;
+                Emit.store e Global val_a v;
+                Emit.fence e Global;
+                ignore (Emit.atomic e A_xchg Global tag_a my_tag);
+                Emit.emit e (I (Mov (dcell, Emit.imm 1))))));
+    Emit.when_ e is_cons (fun () ->
+        let dcell = Emit.fresh e in
+        Emit.emit e (I (Mov (dcell, Emit.imm 0)));
+        Emit.while_ e
+          (fun () -> Emit.eq e (Reg dcell) (Emit.imm 0))
+          (fun () ->
+            let t = Emit.atomic e A_add Global tag_a (Emit.imm 0) in
+            Emit.when_ e (Emit.eq e t my_tag) (fun () ->
+                let a2 = Emit.atomic e A_add Global addr_a (Emit.imm 0) in
+                let v2 = Emit.atomic e A_add Global val_a (Emit.imm 0) in
+                let bad = Emit.or_ e (Emit.ne e a2 addr) (Emit.ne e v2 v) in
+                Emit.trap e bad;
+                ignore (Emit.atomic e A_xchg Global tag_a (Emit.imm 0));
+                Emit.emit e (I (Mov (dcell, Emit.imm 1)))));
+        Emit.store e Global addr v)
+  in
+  let guard_store addr v : stmt list =
+    (match opts.scheme with
+    | Per_item ->
+        Emit.when_ e is_prod (fun () ->
+            spin 0;
+            Emit.store e Global addr_addr addr;
+            Emit.store e Global val_addr v;
+            Emit.fence e Global;
+            ignore (Emit.atomic e A_xchg Global flag_addr (Emit.imm 1)));
+        Emit.when_ e is_cons (fun () ->
+            spin 1;
+            let a2 = Emit.atomic e A_add Global addr_addr (Emit.imm 0) in
+            let v2 = Emit.atomic e A_add Global val_addr (Emit.imm 0) in
+            let bad = Emit.or_ e (Emit.ne e a2 addr) (Emit.ne e v2 v) in
+            Emit.trap e bad;
+            ignore (Emit.atomic e A_xchg Global flag_addr (Emit.imm 0));
+            Emit.store e Global addr v)
+    | Pooled n -> guard_store_pooled n addr v
+    | No_comm -> Emit.when_ e is_cons (fun () -> Emit.store e Global addr v));
+    Emit.take e
+  in
+  let rewrite (s : stmt) : stmt list =
+    match s with
+    | I (Special (Group_id 0, d)) -> [ I (Mov (d, lg0)) ]
+    | I (Special (Group_id 1, d)) -> [ I (Mov (d, lg1)) ]
+    | I (Special (Group_id 2, d)) -> [ I (Mov (d, lg2)) ]
+    | I (Special (Global_id 0, d)) -> [ I (Mov (d, lgid0)) ]
+    | I (Special (Global_id 1, d)) -> [ I (Mov (d, lgid1)) ]
+    | I (Special (Global_id 2, d)) -> [ I (Mov (d, lgid2)) ]
+    | I (Special (Num_groups 0, d)) -> [ I (Mov (d, ng0)) ]
+    | I (Special (Global_size 0, d)) -> [ I (Mov (d, lgsz0)) ]
+    | I (Store (Global, addr, v)) -> guard_store addr v
+    | _ -> [ s ]
+  in
+  let body = prelude @ concat_map_stmts rewrite k.body in
+  {
+    kname =
+      (k.kname ^ "_inter"
+      ^
+      match opts.scheme with
+      | Per_item -> ""
+      | Pooled n -> Printf.sprintf "_pool%d" n
+      | No_comm -> "_nocomm");
+    params = k.params @ extra_params;
+    lds_allocs = k.lds_allocs @ [ (wgid_lds_name, 4) ];
+    body;
+    nregs = e.next;
+  }
+
+(** Host-side NDRange adaptation: twice the groups in dimension 0. *)
+let map_ndrange (nd : Gpu_sim.Geom.ndrange) : Gpu_sim.Geom.ndrange =
+  {
+    global = [| nd.global.(0) * 2; nd.global.(1); nd.global.(2) |];
+    local = Array.copy nd.local;
+  }

@@ -1,0 +1,217 @@
+(** Intra-Group RMT transform (Sections 6 and 8 of the paper).
+
+    The host doubles the dimension-0 work-group size; this pass rewrites
+    the kernel so that physical work-items [2k] and [2k+1] form a
+    producer/consumer pair computing the same logical work-item [k]:
+
+    - ID queries are remapped: the low bit of the physical local id
+      becomes the producer/consumer flag and the logical ids are the
+      physical ids shifted right by one, so twins report identical ids and
+      execute identical computation in different registers and SIMD lanes
+      of the {e same} wavefront (which guarantees lockstep and removes the
+      need for explicit synchronization);
+    - with LDS inside the SoR (+LDS) every LDS allocation is doubled and
+      the consumer's accesses are offset into the duplicate half;
+    - every store that exits the SoR (global stores; local stores too for
+      −LDS) is guarded by an output comparison: the producer communicates
+      address and value, the consumer compares them against its private
+      copies, traps on mismatch, and alone performs the store;
+    - communication goes through an LDS buffer ([Comm_lds], the portable
+      OpenCL scheme), through the vector register file with the GCN
+      [swizzle] instruction ([Comm_fast], Section 8), or is omitted
+      entirely ([Comm_none], the component-analysis ablation of
+      Figure 4). *)
+
+open Gpu_ir.Types
+
+type comm = Comm_lds | Comm_fast | Comm_none
+
+type opts = {
+  include_lds : bool;  (** true = Intra-Group+LDS, false = Intra-Group−LDS *)
+  comm : comm;
+}
+
+let plus_lds = { include_lds = true; comm = Comm_lds }
+let minus_lds = { include_lds = false; comm = Comm_lds }
+
+let comm_lds_name = "__rmt_comm"
+
+exception Unsupported of string
+
+(* Values computed once in the prelude and referenced by every rewrite. *)
+type env = {
+  flag : value;
+  is_prod : value;
+  is_cons : value;
+  llid0 : value;
+  llsz0 : value;
+  lgid0 : value;
+  lgsz0 : value;
+  comm_addr_base : value;  (** LDS offset of the address slots *)
+  comm_val_base : value;   (** LDS offset of the value slots *)
+}
+
+let reject_unsupported (k : kernel) =
+  iter_inst
+    (fun i ->
+      match i with
+      | Atomic (_, Global, _, _, _) | Cas (Global, _, _, _, _) ->
+          raise
+            (Unsupported
+               (k.kname
+              ^ ": global atomics exit the SoR; handling them is future work \
+                 (paper Section 6.2)"))
+      | Trap _ ->
+          raise (Unsupported (k.kname ^ ": kernel already contains traps"))
+      | Swizzle _ ->
+          (* cross-lane reads mix producer and consumer lanes: the twins
+             would observe different values and the generated comparison
+             would fire spuriously (Intra), or the replicas would compute
+             different results (Inter). Wave-level intrinsics are outside
+             every SoR. *)
+          raise
+            (Unsupported
+               (k.kname ^ ": cross-lane swizzles break twin equivalence"))
+      | _ -> ())
+    k.body
+
+(** [transform opts ~local_items k] rewrites [k] for Intra-Group RMT.
+    [local_items] is the {e original} (logical) flat work-group size,
+    needed to size the LDS communication buffer; the host must launch the
+    result with dimension-0 local and global sizes doubled. *)
+let transform (opts : opts) ~local_items (k : kernel) : kernel =
+  reject_unsupported k;
+  (* a local atomic is a read-modify-write store: inside the SoR it is
+     duplicated per twin (+LDS), but with a shared LDS (-LDS) both twins
+     would apply it and double the effect — and guarding it like a plain
+     store would lose the atomicity. Reject, as with global atomics. *)
+  if not opts.include_lds then
+    iter_inst
+      (fun i ->
+        match i with
+        | Atomic (_, Local, _, _, _) | Cas (Local, _, _, _, _) ->
+            raise
+              (Unsupported
+                 (k.kname
+                ^ ": local atomics exit the -LDS SoR and cannot be guarded"))
+        | _ -> ())
+      k.body;
+  if List.mem_assoc comm_lds_name k.lds_allocs then
+    raise (Unsupported (comm_lds_name ^ " LDS allocation already exists"));
+  let e = Emit.create ~nregs:k.nregs in
+  (* ---- prelude: pairing flag and logical IDs ---- *)
+  let plid0 = Emit.special e (Local_id 0) in
+  let flag = Emit.and_ e plid0 (Emit.imm 1) in
+  let is_prod = Emit.eq e flag (Emit.imm 0) in
+  let is_cons = Emit.ne e flag (Emit.imm 0) in
+  let llid0 = Emit.shr e plid0 1 in
+  let plsz0 = Emit.special e (Local_size 0) in
+  let llsz0 = Emit.shr e plsz0 1 in
+  let grp0 = Emit.special e (Group_id 0) in
+  let lgid0 = Emit.mad e grp0 llsz0 llid0 in
+  let pgsz0 = Emit.special e (Global_size 0) in
+  let lgsz0 = Emit.shr e pgsz0 1 in
+  (* flat logical local id, for communication slot indexing *)
+  let lid1 = Emit.special e (Local_id 1) in
+  let lid2 = Emit.special e (Local_id 2) in
+  let lsz1 = Emit.special e (Local_size 1) in
+  let row = Emit.mad e lid2 lsz1 lid1 in
+  let flat = Emit.mad e row llsz0 llid0 in
+  let comm_addr_base, comm_val_base =
+    match opts.comm with
+    | Comm_lds ->
+        let base = Emit.special e (Lds_base comm_lds_name) in
+        let vbase = Emit.add e base (Emit.imm (local_items * 4)) in
+        let a_slot = Emit.mad e flat (Emit.imm 4) base in
+        let v_slot = Emit.mad e flat (Emit.imm 4) vbase in
+        (a_slot, v_slot)
+    | Comm_fast | Comm_none -> (Reg 0, Reg 0)
+  in
+  let env =
+    {
+      flag;
+      is_prod;
+      is_cons;
+      llid0;
+      llsz0;
+      lgid0;
+      lgsz0;
+      comm_addr_base;
+      comm_val_base;
+    }
+  in
+  let prelude = Emit.take e in
+  (* ---- store guarding ---- *)
+  let guard_store sp addr v : stmt list =
+    (match opts.comm with
+    | Comm_lds ->
+        Emit.when_ e env.is_prod (fun () ->
+            Emit.store e Local env.comm_addr_base addr;
+            Emit.store e Local env.comm_val_base v);
+        Emit.when_ e env.is_cons (fun () ->
+            let a2 = Emit.load e Local env.comm_addr_base in
+            let v2 = Emit.load e Local env.comm_val_base in
+            let bad = Emit.or_ e (Emit.ne e a2 addr) (Emit.ne e v2 v) in
+            Emit.trap e bad;
+            Emit.store e sp addr v)
+    | Comm_fast ->
+        (* producer's operands travel through the VRF: every odd lane reads
+           its even partner's register directly (Figure 8) *)
+        let a_sw = Emit.swizzle e Dup_even addr in
+        let v_sw = Emit.swizzle e Dup_even v in
+        Emit.when_ e env.is_cons (fun () ->
+            let bad = Emit.or_ e (Emit.ne e a_sw addr) (Emit.ne e v_sw v) in
+            Emit.trap e bad;
+            Emit.store e sp addr v)
+    | Comm_none ->
+        Emit.when_ e env.is_cons (fun () -> Emit.store e sp addr v));
+    Emit.take e
+  in
+  let lds_size name = List.assoc name k.lds_allocs in
+  let rewrite (s : stmt) : stmt list =
+    match s with
+    | I (Special (Global_id 0, d)) -> [ I (Mov (d, env.lgid0)) ]
+    | I (Special (Local_id 0, d)) -> [ I (Mov (d, env.llid0)) ]
+    | I (Special (Local_size 0, d)) -> [ I (Mov (d, env.llsz0)) ]
+    | I (Special (Global_size 0, d)) -> [ I (Mov (d, env.lgsz0)) ]
+    | I (Special (Lds_base name, d)) when opts.include_lds ->
+        (* consumer uses the duplicate half of the doubled allocation *)
+        let base = Emit.special e (Lds_base name) in
+        Emit.emit e (I (Mad (d, env.flag, Emit.imm (lds_size name), base)));
+        Emit.take e
+    | I (Store (Global, addr, v)) -> guard_store Global addr v
+    | I (Store (Local, addr, v)) when not opts.include_lds ->
+        guard_store Local addr v
+    | _ -> [ s ]
+  in
+  let body = prelude @ concat_map_stmts rewrite k.body in
+  let lds_allocs =
+    let originals =
+      if opts.include_lds then
+        List.map (fun (n, sz) -> (n, 2 * sz)) k.lds_allocs
+      else k.lds_allocs
+    in
+    match opts.comm with
+    | Comm_lds -> originals @ [ (comm_lds_name, local_items * 8) ]
+    | Comm_fast | Comm_none -> originals
+  in
+  {
+    kname =
+      k.kname ^ "_intra"
+      ^ (if opts.include_lds then "+lds" else "-lds")
+      ^ (match opts.comm with
+        | Comm_lds -> ""
+        | Comm_fast -> "_fast"
+        | Comm_none -> "_nocomm");
+    params = k.params;
+    lds_allocs;
+    body;
+    nregs = e.next;
+  }
+
+(** Host-side NDRange adaptation: dimension 0 doubles. *)
+let map_ndrange (nd : Gpu_sim.Geom.ndrange) : Gpu_sim.Geom.ndrange =
+  {
+    global = [| nd.global.(0) * 2; nd.global.(1); nd.global.(2) |];
+    local = [| nd.local.(0) * 2; nd.local.(1); nd.local.(2) |];
+  }

@@ -1,0 +1,79 @@
+(** Sphere-of-replication (SoR) model: which compute-unit structures each
+    RMT flavor protects (Tables 2 and 3 of the paper), with the reasoning
+    encoded as data so the fault-injection campaigns can check themselves
+    against it. *)
+
+type structure =
+  | SIMD_alu
+  | VRF
+  | LDS
+  | SU
+  | SRF
+  | Instr_decode
+  | Instr_fetch_sched
+  | L1_cache
+
+let all_structures =
+  [ SIMD_alu; VRF; LDS; SU; SRF; Instr_decode; Instr_fetch_sched; L1_cache ]
+
+let structure_name = function
+  | SIMD_alu -> "SIMD ALU"
+  | VRF -> "VRF"
+  | LDS -> "LDS"
+  | SU -> "SU"
+  | SRF -> "SRF"
+  | Instr_decode -> "ID"
+  | Instr_fetch_sched -> "IF/SCHED"
+  | L1_cache -> "R/W L1$"
+
+type flavor =
+  | Intra_plus_lds
+  | Intra_minus_lds
+  | Inter_group
+
+let flavor_name = function
+  | Intra_plus_lds -> "Intra-Group+LDS"
+  | Intra_minus_lds -> "Intra-Group-LDS"
+  | Inter_group -> "Inter-Group"
+
+(** [protects flavor s]: is [s] inside the flavor's SoR?
+
+    Intra-Group pairs live in one wavefront: vector registers and SIMD
+    lanes are replicated, but scalar state, instruction handling and the
+    cache hierarchy are shared between the twins. LDS is protected only
+    when its allocation is duplicated (+LDS). Inter-Group pairs live in
+    separate wavefronts and work-groups, so everything per-wave is
+    duplicated; the L1 stays outside because redundant groups may share a
+    CU and thus a cache line. *)
+let protects flavor s =
+  match (flavor, s) with
+  | (Intra_plus_lds | Intra_minus_lds), (SIMD_alu | VRF) -> true
+  | Intra_plus_lds, LDS -> true
+  | Intra_minus_lds, LDS -> false
+  | (Intra_plus_lds | Intra_minus_lds),
+    (SU | SRF | Instr_decode | Instr_fetch_sched | L1_cache) ->
+      false
+  | Inter_group, L1_cache -> false
+  | Inter_group,
+    (SIMD_alu | VRF | LDS | SU | SRF | Instr_decode | Instr_fetch_sched) ->
+      true
+
+(** Render Table 2 (pass the two Intra flavors) or Table 3 (Inter). *)
+let render_table flavors =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%-18s" "");
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "%-10s" (structure_name s)))
+    all_structures;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Printf.sprintf "%-18s" (flavor_name f));
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-10s" (if protects f s then "x" else "")))
+        all_structures;
+      Buffer.add_char buf '\n')
+    flavors;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Sphere-of-replication (SoR) model: which compute-unit structures each
+    RMT flavor protects (paper Tables 2 and 3). The fault-injection
+    campaigns check these claims empirically. *)
+
+type structure =
+  | SIMD_alu
+  | VRF
+  | LDS
+  | SU
+  | SRF
+  | Instr_decode
+  | Instr_fetch_sched
+  | L1_cache
+
+val all_structures : structure list
+val structure_name : structure -> string
+
+type flavor = Intra_plus_lds | Intra_minus_lds | Inter_group
+
+val flavor_name : flavor -> string
+
+val protects : flavor -> structure -> bool
+(** Is the structure inside the flavor's sphere of replication? *)
+
+val render_table : flavor list -> string
+(** Render Table 2 (both Intra flavors) or Table 3 (Inter) as text. *)

@@ -1,0 +1,39 @@
+(** Facade over the RMT transforms: one variant type covering every
+    kernel version the evaluation runs, with uniform host-side launch
+    adaptation. *)
+
+type variant =
+  | Original
+  | Intra of { include_lds : bool; comm : Intra_group.comm }
+  | Inter of { comm : bool }
+
+(** The headline flavors of the paper. *)
+
+val intra_plus_lds : variant
+val intra_minus_lds : variant
+val intra_plus_lds_fast : variant
+val intra_minus_lds_fast : variant
+val inter_group : variant
+
+val name : variant -> string
+
+val apply : variant -> local_items:int -> Gpu_ir.Types.kernel -> Gpu_ir.Types.kernel
+(** Transform a kernel. [local_items] is the original flat work-group
+    size of the intended launch. *)
+
+val map_ndrange : variant -> Gpu_sim.Geom.ndrange -> Gpu_sim.Geom.ndrange
+(** Adapt the original NDRange for the transformed kernel. *)
+
+val needs_extra_buffers : variant -> bool
+
+type extras = {
+  ex_args : Gpu_sim.Device.arg list;  (** arguments to append *)
+  reset : unit -> unit;  (** call before every launch *)
+}
+
+val make_extras : variant -> Gpu_sim.Device.t -> nd:Gpu_sim.Geom.ndrange -> extras
+(** Allocate (and zero) the extra buffers for launches of [variant] over
+    the {e original} NDRange. *)
+
+val extra_args : variant -> Gpu_sim.Device.t -> nd:Gpu_sim.Geom.ndrange -> Gpu_sim.Device.arg list
+(** Convenience for single-launch callers. *)

@@ -1,0 +1,52 @@
+(** Fault-injection campaigns: repeated single-bit flips into one
+    architectural structure, with outcomes classified against a CPU
+    reference. Empirically validates the paper's SoR tables — a
+    structure is {e covered} by a flavor when injections into it never
+    end in silent data corruption. *)
+
+type outcome = O_masked | O_detected | O_sdc | O_crash | O_hang
+
+val outcome_name : outcome -> string
+
+type tally = {
+  mutable masked : int;
+  mutable detected : int;
+  mutable sdc : int;
+  mutable crash : int;
+  mutable hang : int;
+  mutable not_applied : int;
+  mutable latencies : int list;
+      (** detection latencies (flip-to-trap cycles) of detected runs *)
+}
+
+val tally_create : unit -> tally
+val tally_total : tally -> int
+val record : tally -> outcome -> unit
+val mean_latency : tally -> int option
+val tally_to_string : tally -> string
+
+type observation = {
+  oc : Gpu_sim.Device.outcome;
+  output_ok : bool;
+  applied : bool;
+  latency : int option;
+}
+
+type experiment = {
+  run : inject:Gpu_sim.Device.inject_plan option -> observation;
+  golden_cycles : int;  (** fault-free duration, to place injections *)
+}
+
+val classify : observation -> outcome
+
+val run :
+  ?n:int ->
+  target:Gpu_sim.Device.inject_target ->
+  seed:int ->
+  experiment ->
+  tally
+(** Run [n] (default 40) injections, spread over the middle 80% of the
+    fault-free execution. *)
+
+val covered : tally -> bool
+(** No SDC observed (and at least one injection applied). *)

@@ -1,0 +1,181 @@
+(** Performance counters and activity events.
+
+    The busy-cycle counters mirror the CodeXL derived counters the paper
+    reports in Figure 3 ([VALUBusy], [MemUnitBusy], [WriteUnitStalled]);
+    the event counters feed the activity-based power model (Figure 5). *)
+
+type t = {
+  mutable cycles : int;  (** kernel duration in core cycles *)
+  (* busy-cycle accounting, summed over all CUs *)
+  mutable valu_busy : int;      (** SIMD-cycles spent executing VALU ops *)
+  mutable salu_busy : int;      (** scalar-unit busy cycles *)
+  mutable mem_unit_busy : int;  (** vector memory unit busy cycles *)
+  mutable lds_busy : int;       (** LDS unit busy cycles *)
+  mutable write_stalled : int;  (** cycles a store was blocked on writes *)
+  (* event counts *)
+  mutable valu_insts : int;
+  mutable valu_lane_ops : int;
+  mutable salu_insts : int;
+  mutable vmem_insts : int;
+  mutable lds_insts : int;
+  mutable lds_lane_ops : int;
+  mutable atomics : int;
+  mutable barriers_executed : int;
+  mutable branches : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable dram_read_bytes : int;
+  mutable dram_write_bytes : int;
+  mutable l2_write_bytes : int;
+  mutable global_load_insts : int;
+  mutable global_store_insts : int;
+  mutable spin_iterations : int;  (** atomic polls in generated spin loops *)
+  mutable waves_launched : int;
+  mutable groups_launched : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    valu_busy = 0;
+    salu_busy = 0;
+    mem_unit_busy = 0;
+    lds_busy = 0;
+    write_stalled = 0;
+    valu_insts = 0;
+    valu_lane_ops = 0;
+    salu_insts = 0;
+    vmem_insts = 0;
+    lds_insts = 0;
+    lds_lane_ops = 0;
+    atomics = 0;
+    barriers_executed = 0;
+    branches = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    dram_read_bytes = 0;
+    dram_write_bytes = 0;
+    l2_write_bytes = 0;
+    global_load_insts = 0;
+    global_store_insts = 0;
+    spin_iterations = 0;
+    waves_launched = 0;
+    groups_launched = 0;
+  }
+
+let copy (c : t) : t =
+  {
+    cycles = c.cycles;
+    valu_busy = c.valu_busy;
+    salu_busy = c.salu_busy;
+    mem_unit_busy = c.mem_unit_busy;
+    lds_busy = c.lds_busy;
+    write_stalled = c.write_stalled;
+    valu_insts = c.valu_insts;
+    valu_lane_ops = c.valu_lane_ops;
+    salu_insts = c.salu_insts;
+    vmem_insts = c.vmem_insts;
+    lds_insts = c.lds_insts;
+    lds_lane_ops = c.lds_lane_ops;
+    atomics = c.atomics;
+    barriers_executed = c.barriers_executed;
+    branches = c.branches;
+    l1_hits = c.l1_hits;
+    l1_misses = c.l1_misses;
+    l2_hits = c.l2_hits;
+    l2_misses = c.l2_misses;
+    dram_read_bytes = c.dram_read_bytes;
+    dram_write_bytes = c.dram_write_bytes;
+    l2_write_bytes = c.l2_write_bytes;
+    global_load_insts = c.global_load_insts;
+    global_store_insts = c.global_store_insts;
+    spin_iterations = c.spin_iterations;
+    waves_launched = c.waves_launched;
+    groups_launched = c.groups_launched;
+  }
+
+(** [delta newer older] is the event-wise difference, used for
+    power-window sampling. *)
+let delta (a : t) (b : t) : t =
+  {
+    cycles = a.cycles - b.cycles;
+    valu_busy = a.valu_busy - b.valu_busy;
+    salu_busy = a.salu_busy - b.salu_busy;
+    mem_unit_busy = a.mem_unit_busy - b.mem_unit_busy;
+    lds_busy = a.lds_busy - b.lds_busy;
+    write_stalled = a.write_stalled - b.write_stalled;
+    valu_insts = a.valu_insts - b.valu_insts;
+    valu_lane_ops = a.valu_lane_ops - b.valu_lane_ops;
+    salu_insts = a.salu_insts - b.salu_insts;
+    vmem_insts = a.vmem_insts - b.vmem_insts;
+    lds_insts = a.lds_insts - b.lds_insts;
+    lds_lane_ops = a.lds_lane_ops - b.lds_lane_ops;
+    atomics = a.atomics - b.atomics;
+    barriers_executed = a.barriers_executed - b.barriers_executed;
+    branches = a.branches - b.branches;
+    l1_hits = a.l1_hits - b.l1_hits;
+    l1_misses = a.l1_misses - b.l1_misses;
+    l2_hits = a.l2_hits - b.l2_hits;
+    l2_misses = a.l2_misses - b.l2_misses;
+    dram_read_bytes = a.dram_read_bytes - b.dram_read_bytes;
+    dram_write_bytes = a.dram_write_bytes - b.dram_write_bytes;
+    l2_write_bytes = a.l2_write_bytes - b.l2_write_bytes;
+    global_load_insts = a.global_load_insts - b.global_load_insts;
+    global_store_insts = a.global_store_insts - b.global_store_insts;
+    spin_iterations = a.spin_iterations - b.spin_iterations;
+    waves_launched = a.waves_launched - b.waves_launched;
+    groups_launched = a.groups_launched - b.groups_launched;
+  }
+
+(** [accumulate ~into c] adds every field of [c] into [into] (used to sum
+    counters over multi-pass benchmarks). *)
+let accumulate ~(into : t) (c : t) =
+  into.cycles <- into.cycles + c.cycles;
+  into.valu_busy <- into.valu_busy + c.valu_busy;
+  into.salu_busy <- into.salu_busy + c.salu_busy;
+  into.mem_unit_busy <- into.mem_unit_busy + c.mem_unit_busy;
+  into.lds_busy <- into.lds_busy + c.lds_busy;
+  into.write_stalled <- into.write_stalled + c.write_stalled;
+  into.valu_insts <- into.valu_insts + c.valu_insts;
+  into.valu_lane_ops <- into.valu_lane_ops + c.valu_lane_ops;
+  into.salu_insts <- into.salu_insts + c.salu_insts;
+  into.vmem_insts <- into.vmem_insts + c.vmem_insts;
+  into.lds_insts <- into.lds_insts + c.lds_insts;
+  into.lds_lane_ops <- into.lds_lane_ops + c.lds_lane_ops;
+  into.atomics <- into.atomics + c.atomics;
+  into.barriers_executed <- into.barriers_executed + c.barriers_executed;
+  into.branches <- into.branches + c.branches;
+  into.l1_hits <- into.l1_hits + c.l1_hits;
+  into.l1_misses <- into.l1_misses + c.l1_misses;
+  into.l2_hits <- into.l2_hits + c.l2_hits;
+  into.l2_misses <- into.l2_misses + c.l2_misses;
+  into.dram_read_bytes <- into.dram_read_bytes + c.dram_read_bytes;
+  into.dram_write_bytes <- into.dram_write_bytes + c.dram_write_bytes;
+  into.l2_write_bytes <- into.l2_write_bytes + c.l2_write_bytes;
+  into.global_load_insts <- into.global_load_insts + c.global_load_insts;
+  into.global_store_insts <- into.global_store_insts + c.global_store_insts;
+  into.spin_iterations <- into.spin_iterations + c.spin_iterations;
+  into.waves_launched <- into.waves_launched + c.waves_launched;
+  into.groups_launched <- into.groups_launched + c.groups_launched
+
+(* Derived percentages over the kernel duration, as CodeXL reports them. *)
+
+let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+(** Percentage of available SIMD issue bandwidth spent on vector ALU ops. *)
+let valu_busy_pct ~n_cus ~simds_per_cu (c : t) =
+  pct c.valu_busy (c.cycles * n_cus * simds_per_cu)
+
+(** Percentage of kernel time the vector memory unit was busy (per CU,
+    averaged). *)
+let mem_unit_busy_pct ~n_cus (c : t) = pct c.mem_unit_busy (c.cycles * n_cus)
+
+(** Percentage of kernel time stores were stalled on write bandwidth. *)
+let write_unit_stalled_pct ~n_cus (c : t) = pct c.write_stalled (c.cycles * n_cus)
+
+(** Percentage of kernel time the LDS unit was busy. *)
+let lds_busy_pct ~n_cus (c : t) = pct c.lds_busy (c.cycles * n_cus)

@@ -1,0 +1,50 @@
+(** Performance counters and activity events. The busy-cycle counters
+    mirror the CodeXL derived counters the paper reports in Figure 3;
+    the event counters feed the activity-based power model (Figure 5). *)
+
+type t = {
+  mutable cycles : int;
+  mutable valu_busy : int;
+  mutable salu_busy : int;
+  mutable mem_unit_busy : int;
+  mutable lds_busy : int;
+  mutable write_stalled : int;
+  mutable valu_insts : int;
+  mutable valu_lane_ops : int;
+  mutable salu_insts : int;
+  mutable vmem_insts : int;
+  mutable lds_insts : int;
+  mutable lds_lane_ops : int;
+  mutable atomics : int;
+  mutable barriers_executed : int;
+  mutable branches : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable dram_read_bytes : int;
+  mutable dram_write_bytes : int;
+  mutable l2_write_bytes : int;
+  mutable global_load_insts : int;
+  mutable global_store_insts : int;
+  mutable spin_iterations : int;
+  mutable waves_launched : int;
+  mutable groups_launched : int;
+}
+
+val create : unit -> t
+val copy : t -> t
+
+val delta : t -> t -> t
+(** [delta newer older]: event-wise difference (power windows). *)
+
+val accumulate : into:t -> t -> unit
+(** Add every field of the second counter into [into] (multi-pass
+    benchmarks). *)
+
+(** {1 Derived percentages over the kernel duration (CodeXL style)} *)
+
+val valu_busy_pct : n_cus:int -> simds_per_cu:int -> t -> float
+val mem_unit_busy_pct : n_cus:int -> t -> float
+val write_unit_stalled_pct : n_cus:int -> t -> float
+val lds_busy_pct : n_cus:int -> t -> float

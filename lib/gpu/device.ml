@@ -1,0 +1,803 @@
+(** The device: buffer management, work-group dispatch, the per-cycle
+    issue loop, performance counters, power-window sampling and fault
+    injection.
+
+    The scheduling model follows GCN: each compute unit owns four SIMD
+    units; on cycle [c] the SIMD [c mod 4] gets an issue turn, during
+    which its resident wavefronts (up to 10) may each issue at most one
+    instruction — one vector ALU op (occupying the SIMD for 4 cycles, 16
+    for transcendentals), plus at most one vector-memory, one LDS and one
+    scalar op to the CU-shared units. Wavefronts are scoreboarded:
+    an instruction issues only when its operands' producing loads have
+    completed, which is what lets waves hide each other's memory latency —
+    the effect the paper's memory-bound kernels exploit to get cheap RMT.
+
+    The simulator is cycle-stepped but skips ahead over provably idle
+    periods, so spin-heavy Inter-Group RMT kernels remain tractable. *)
+
+open Gpu_ir.Types
+module Regpressure = Gpu_ir.Regpressure
+module Uniformity = Gpu_ir.Uniformity
+module F32 = Gpu_ir.F32
+
+(* Scheduler-event log ("gpu.device" source): dispatches, retirements,
+   barrier releases, fault injections and detections, at debug level.
+   Enable with [Logs.Src.set_level log_src (Some Logs.Debug)] or the
+   [rmtgpu -v] flag. *)
+let log_src = Logs.Src.create "gpu.device" ~doc:"GPU device scheduler events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type buffer = { addr : int; size : int }
+type arg = A_buf of buffer | A_i32 of int | A_f32 of float
+
+type outcome =
+  | Finished
+  | Detected  (** an RMT output comparison fired a trap *)
+  | Crashed of string
+  | Hung
+
+type inject_target = T_vgpr | T_sgpr | T_lds | T_l1
+type inject_plan = { at_cycle : int; target : inject_target; iseed : int }
+
+type result = {
+  cycles : int;
+  outcome : outcome;
+  counters : Counters.t;
+  windows : Counters.t array;  (** per-power-window event deltas *)
+  occupancy : Occupancy.t;
+  usage : Regpressure.usage;
+  groups_completed : int;
+  inject_applied : bool;
+  injected_at : int option;  (** cycle the fault actually landed *)
+  detected_at : int option;  (** cycle an output comparison trapped *)
+}
+
+type t = {
+  cfg : Config.t;
+  data : Bytes.t;
+  mutable alloc_ptr : int;
+}
+
+let create (cfg : Config.t) =
+  { cfg; data = Bytes.make cfg.memory_bytes '\000'; alloc_ptr = 256 }
+
+(* ------------------------------------------------------------------ *)
+(* Buffers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let align_up v a = (v + a - 1) / a * a
+
+let alloc dev bytes =
+  let addr = align_up dev.alloc_ptr 256 in
+  if addr + bytes > Bytes.length dev.data then
+    failwith "Device.alloc: out of device memory";
+  dev.alloc_ptr <- addr + bytes;
+  { addr; size = bytes }
+
+(** Release all buffers (bump-allocator reset). *)
+let free_all dev = dev.alloc_ptr <- 256
+
+let check_idx buf i =
+  if i < 0 || (i * 4) + 4 > buf.size then
+    invalid_arg (Printf.sprintf "buffer index %d out of range" i)
+
+let write_i32 dev buf i v =
+  check_idx buf i;
+  Bytes.set_int32_le dev.data (buf.addr + (i * 4)) (Int32.of_int v)
+
+let read_i32 dev buf i =
+  check_idx buf i;
+  F32.norm (Int32.to_int (Bytes.get_int32_le dev.data (buf.addr + (i * 4))))
+
+let write_f32 dev buf i x = write_i32 dev buf i (F32.of_float x)
+let read_f32 dev buf i = F32.to_float (read_i32 dev buf i)
+
+let write_i32_array dev buf arr = Array.iteri (fun i v -> write_i32 dev buf i v) arr
+let write_f32_array dev buf arr = Array.iteri (fun i x -> write_f32 dev buf i x) arr
+let read_i32_array dev buf n = Array.init n (fun i -> read_i32 dev buf i)
+let read_f32_array dev buf n = Array.init n (fun i -> read_f32 dev buf i)
+let fill_i32 dev buf n v = for i = 0 to n - 1 do write_i32 dev buf i v done
+
+(* ------------------------------------------------------------------ *)
+(* Run-time structures                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type grp = {
+  g_index : int;
+  view : Geom.group_view;
+  lds_mem : Bytes.t;
+  g_waves : Wave.t array;
+  mutable barrier_arrived : int;
+  mutable retired_waves : int;
+  g_lds_account : int;  (** LDS bytes charged to the CU (incl. inflation) *)
+}
+
+type slot = { w : Wave.t; g : grp; mem : Wave.mem_ops; mutable live : bool }
+
+type cu_state = {
+  cu_id : int;
+  mutable groups : grp list;
+  mutable lds_used : int;
+  simd_waves : int array;
+  simd_vgprs : int array;
+  simd_sgprs : int array;
+  simd_busy_until : int array;
+  mutable salu_busy_until : int;
+  mutable lds_busy_until : int;
+  mutable sched : slot array;
+  mutable rr : int;  (** rotating scan start for [Round_robin] *)
+  mutable wake : int;
+}
+
+exception Trap_detected
+
+type unit_kind = U_valu | U_salu | U_vmem | U_lds
+
+(* ------------------------------------------------------------------ *)
+(* Launch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type launch_opts = {
+  usage_override : Regpressure.usage option;
+      (** replace the estimated resource usage (the paper's "artificially
+          inflate the resource usage" component-analysis experiment) *)
+  max_cycles : int option;
+  window_cycles : int option;
+  inject : inject_plan option;
+  verify_kernel : bool;
+}
+
+let default_opts =
+  {
+    usage_override = None;
+    max_cycles = None;
+    window_cycles = None;
+    inject = None;
+    verify_kernel = true;
+  }
+
+let atomic_eval op old v =
+  let uo = F32.to_u old and uv = F32.to_u v in
+  match op with
+  | A_add -> F32.norm (old + v)
+  | A_sub -> F32.norm (old - v)
+  | A_xchg -> v
+  | A_max_u -> if uo >= uv then old else v
+  | A_min_u -> if uo <= uv then old else v
+
+let classify_unit div (i : inst) : unit_kind =
+  match i with
+  | Load (Global, _, _) | Store (Global, _, _)
+  | Atomic (_, Global, _, _, _) | Cas (Global, _, _, _, _) ->
+      U_vmem
+  | Load (Local, _, _) | Store (Local, _, _)
+  | Atomic (_, Local, _, _, _) | Cas (Local, _, _, _, _) ->
+      U_lds
+  | Trap _ | Swizzle _ -> U_valu
+  | _ -> if Uniformity.inst_scalarizable div i then U_salu else U_valu
+
+(** Run [kernel] over [nd] with [args]. *)
+let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
+    ~(args : arg list) : result =
+  let cfg = dev.cfg in
+  Geom.validate nd;
+  if opts.verify_kernel then Gpu_ir.Verify.check kernel;
+  let group_items = Geom.group_items nd in
+  if group_items > cfg.max_workgroup_size then
+    invalid_arg
+      (Printf.sprintf "work-group size %d exceeds device maximum %d"
+         group_items cfg.max_workgroup_size);
+  if List.length args <> param_count kernel then
+    invalid_arg "argument count does not match kernel parameters";
+  let usage =
+    match opts.usage_override with
+    | Some u -> u
+    | None -> Regpressure.analyze kernel
+  in
+  let occupancy = Occupancy.compute cfg ~usage ~group_items in
+  if occupancy.groups_per_cu = 0 then
+    invalid_arg "kernel does not fit on a compute unit (occupancy 0)";
+  let div = Uniformity.analyze kernel in
+  let counters = Counters.create () in
+  let ms = Memsys.create cfg counters ~data:dev.data in
+  let arg_values =
+    Array.of_list
+      (List.map
+         (function
+           | A_buf b -> b.addr
+           | A_i32 v -> F32.norm v
+           | A_f32 x -> F32.of_float x)
+         args)
+  in
+  (* LDS layout: sequential allocation in declaration order. *)
+  let lds_layout =
+    let off = ref 0 in
+    List.map
+      (fun (name, sz) ->
+        let o = !off in
+        off := !off + sz;
+        (name, o))
+      kernel.lds_allocs
+  in
+  let lds_total = Gpu_ir.Types.lds_bytes kernel in
+  let lds_account = max lds_total usage.lds in
+  let waves_per_group = Config.waves_per_group cfg group_items in
+  let total_groups = Geom.total_groups nd in
+  let max_cycles = Option.value opts.max_cycles ~default:cfg.max_cycles in
+  let window_cycles =
+    Option.value opts.window_cycles ~default:cfg.window_cycles
+  in
+  let cus =
+    Array.init cfg.n_cus (fun cu_id ->
+        {
+          cu_id;
+          groups = [];
+          lds_used = 0;
+          simd_waves = Array.make cfg.simds_per_cu 0;
+          simd_vgprs = Array.make cfg.simds_per_cu 0;
+          simd_sgprs = Array.make cfg.simds_per_cu 0;
+          simd_busy_until = Array.make cfg.simds_per_cu 0;
+          salu_busy_until = 0;
+          lds_busy_until = 0;
+          sched = [||];
+          rr = 0;
+          wake = 0;
+        })
+  in
+  let next_group = ref 0 in
+  let groups_completed = ref 0 in
+  let detections = ref 0 in
+  let inject_pending = ref opts.inject in
+  let inject_applied = ref false in
+  let injected_at = ref None in
+  let detected_at = ref None in
+  let rng = ref (match opts.inject with Some p -> p.iseed | None -> 1) in
+  let rand m =
+    rng := (!rng * 1103515245 + 12345) land 0x3FFFFFFF;
+    if m <= 0 then 0 else !rng mod m
+  in
+
+  (* -------------------- group dispatch -------------------- *)
+  let make_mem_ops cu (g_lds : Bytes.t) (view : Geom.group_view) ~cu_id :
+      Wave.mem_ops =
+    let lds_check addr what =
+      if addr < 0 || addr + 4 > Bytes.length g_lds then
+        raise
+          (Memsys.Fault (Printf.sprintf "LDS %s out of bounds at %d" what addr));
+      if addr land 3 <> 0 then
+        raise (Memsys.Fault (Printf.sprintf "unaligned LDS %s at %d" what addr))
+    in
+    ignore cu;
+    let lds_read addr =
+      lds_check addr "load";
+      F32.norm (Int32.to_int (Bytes.get_int32_le g_lds addr))
+    in
+    let lds_write addr v =
+      lds_check addr "store";
+      Bytes.set_int32_le g_lds addr (Int32.of_int v)
+    in
+    {
+      mload =
+        (fun sp a ->
+          match sp with
+          | Global -> Memsys.load32 ms ~cu:cu_id a
+          | Local -> lds_read a);
+      mstore =
+        (fun sp a v ->
+          match sp with
+          | Global -> Memsys.store32 ms ~cu:cu_id a v
+          | Local -> lds_write a v);
+      matomic =
+        (fun op sp a v ->
+          match sp with
+          | Global ->
+              let old = Memsys.read32 ms a in
+              Memsys.store32 ms ~cu:cu_id a (atomic_eval op old v);
+              old
+          | Local ->
+              let old = lds_read a in
+              lds_write a (atomic_eval op old v);
+              old);
+      mcas =
+        (fun sp a e n ->
+          match sp with
+          | Global ->
+              let old = Memsys.read32 ms a in
+              if old = e then Memsys.store32 ms ~cu:cu_id a n;
+              old
+          | Local ->
+              let old = lds_read a in
+              if old = e then lds_write a n;
+              old);
+      arg = (fun idx -> arg_values.(idx));
+      lds_base =
+        (fun name ->
+          match List.assoc_opt name lds_layout with
+          | Some o -> o
+          | None -> raise (Memsys.Fault ("unknown LDS allocation " ^ name)));
+      view;
+    }
+  in
+
+  let rebuild_sched cu =
+    let slots = ref [] in
+    List.iter
+      (fun g ->
+        Array.iter
+          (fun w ->
+            if w.Wave.state <> Wave.Retired then
+              slots :=
+                { w; g; mem = make_mem_ops cu g.lds_mem g.view ~cu_id:cu.cu_id; live = true }
+                :: !slots)
+          g.g_waves)
+      cu.groups;
+    cu.sched <- Array.of_list (List.rev !slots)
+  in
+
+  (* Greedy wave-to-SIMD placement; returns assignments or None. *)
+  let place_waves cu =
+    let w = Array.copy cu.simd_waves
+    and v = Array.copy cu.simd_vgprs
+    and s = Array.copy cu.simd_sgprs in
+    let assign = Array.make waves_per_group (-1) in
+    let ok = ref true in
+    for i = 0 to waves_per_group - 1 do
+      (* least-loaded SIMD that fits *)
+      let best = ref (-1) in
+      for simd = 0 to cfg.simds_per_cu - 1 do
+        if
+          w.(simd) < cfg.max_waves_per_simd
+          && v.(simd) + usage.vgprs <= cfg.vgprs_per_simd
+          && s.(simd) + usage.sgprs <= cfg.sgprs_per_simd
+          && (!best < 0 || w.(simd) < w.(!best))
+        then best := simd
+      done;
+      if !best < 0 then ok := false
+      else begin
+        assign.(i) <- !best;
+        w.(!best) <- w.(!best) + 1;
+        v.(!best) <- v.(!best) + usage.vgprs;
+        s.(!best) <- s.(!best) + usage.sgprs
+      end
+    done;
+    if !ok then Some assign else None
+  in
+
+  let try_dispatch_on cu now =
+    if
+      !next_group < total_groups
+      && List.length cu.groups < cfg.max_groups_per_cu
+      && cu.lds_used + lds_account <= cfg.lds_per_cu
+    then
+      match place_waves cu with
+      | None -> false
+      | Some assign ->
+          let gi = !next_group in
+          incr next_group;
+          let view : Geom.group_view = { nd; gcoord = Geom.group_coord nd gi } in
+          let waves =
+            Array.init waves_per_group (fun wi ->
+                let flat_base = wi * cfg.wave_size in
+                let nlanes = min cfg.wave_size (group_items - flat_base) in
+                Wave.create ~wid:wi ~nregs:kernel.nregs ~nlanes ~flat_base
+                  ~body:kernel.body ~simd:assign.(wi))
+          in
+          let g =
+            {
+              g_index = gi;
+              view;
+              lds_mem = Bytes.make (max lds_total 4) '\000';
+              g_waves = waves;
+              barrier_arrived = 0;
+              retired_waves = 0;
+              g_lds_account = lds_account;
+            }
+          in
+          cu.groups <- cu.groups @ [ g ];
+          cu.lds_used <- cu.lds_used + lds_account;
+          Array.iteri
+            (fun wi simd ->
+              ignore wi;
+              cu.simd_waves.(simd) <- cu.simd_waves.(simd) + 1;
+              cu.simd_vgprs.(simd) <- cu.simd_vgprs.(simd) + usage.vgprs;
+              cu.simd_sgprs.(simd) <- cu.simd_sgprs.(simd) + usage.sgprs)
+            assign;
+          counters.groups_launched <- counters.groups_launched + 1;
+          counters.waves_launched <- counters.waves_launched + waves_per_group;
+          Log.debug (fun m ->
+              m "cycle %d: dispatch group %d (%d waves) to CU %d" now gi
+                waves_per_group cu.cu_id);
+          rebuild_sched cu;
+          cu.wake <- now;
+          true
+    else false
+  in
+
+  let dispatch_rr = ref 0 in
+  let try_dispatch now =
+    let progress = ref true in
+    while !progress && !next_group < total_groups do
+      progress := false;
+      let n = cfg.n_cus in
+      let start = !dispatch_rr in
+      let placed = ref false in
+      let i = ref 0 in
+      while (not !placed) && !i < n do
+        let cu = cus.((start + !i) mod n) in
+        if try_dispatch_on cu now then begin
+          placed := true;
+          dispatch_rr := (start + !i + 1) mod n
+        end;
+        incr i
+      done;
+      if !placed then progress := true
+    done
+  in
+
+  (* -------------------- retire / barrier -------------------- *)
+  let retire_wave cu (s : slot) =
+    s.live <- false;
+    if s.w.Wave.retire_accounted then ()
+    else begin
+    s.w.Wave.retire_accounted <- true;
+    let simd = s.w.Wave.simd in
+    cu.simd_waves.(simd) <- cu.simd_waves.(simd) - 1;
+    cu.simd_vgprs.(simd) <- cu.simd_vgprs.(simd) - usage.vgprs;
+    cu.simd_sgprs.(simd) <- cu.simd_sgprs.(simd) - usage.sgprs;
+    s.g.retired_waves <- s.g.retired_waves + 1;
+    if s.g.retired_waves = Array.length s.g.g_waves then begin
+      cu.groups <- List.filter (fun g -> g != s.g) cu.groups;
+      cu.lds_used <- cu.lds_used - s.g.g_lds_account;
+      incr groups_completed;
+      Log.debug (fun m ->
+          m "group %d completed on CU %d (%d/%d)" s.g.g_index cu.cu_id
+            !groups_completed total_groups);
+      rebuild_sched cu
+    end
+    end
+  in
+
+  let arrive_barrier (g : grp) =
+    g.barrier_arrived <- g.barrier_arrived + 1;
+    if g.barrier_arrived = Array.length g.g_waves then begin
+      g.barrier_arrived <- 0;
+      Array.iter Wave.release_barrier g.g_waves;
+      counters.barriers_executed <- counters.barriers_executed + 1;
+      true
+    end
+    else false
+  in
+
+  (* -------------------- issue -------------------- *)
+  let on_branch () = counters.branches <- counters.branches + 1 in
+
+  let scan_cu cu now =
+    let simd = now mod cfg.simds_per_cu in
+    let wake = ref max_int in
+    let note t = if t > now && t < !wake then wake := t in
+    let other_simd_work = ref false in
+    let valu_used = ref false
+    and vmem_used = ref false
+    and lds_used = ref false
+    and salu_used = ref false in
+    let write_stall_seen = ref false in
+    let events = ref false in
+    (* iterate a stable snapshot: retirement may rebuild [cu.sched] *)
+    let sched = cu.sched in
+    let n = Array.length sched in
+    let start =
+      match cfg.sched_policy with
+      | Config.Greedy -> 0
+      | Config.Round_robin ->
+          cu.rr <- (cu.rr + 1) mod max 1 n;
+          cu.rr
+    in
+    for k = 0 to n - 1 do
+      let idx = (start + k) mod n in
+      let s = sched.(idx) in
+      if s.live then begin
+        let w = s.w in
+        if w.Wave.simd <> simd then begin
+          (* not this SIMD's turn; it may have work within 3 cycles *)
+          match w.Wave.state with
+          | Wave.Running -> other_simd_work := true
+          | Wave.At_barrier | Wave.Retired -> ()
+        end
+        else
+          match Wave.peek w ~now ~on_branch with
+          | Wave.P_done ->
+              retire_wave cu s;
+              events := true
+          | Wave.P_barrier_arrived ->
+              if arrive_barrier s.g then events := true
+          | Wave.P_waiting -> ()
+          | Wave.P_stall ->
+              (* control-flow operand not ready: conservative near wake *)
+              note (now + 1)
+          | Wave.P_inst i ->
+              if not (Wave.inst_ready w ~now i) then begin
+                let t =
+                  List.fold_left
+                    (fun acc v ->
+                      match v with
+                      | Reg r -> max acc w.Wave.ready_at.(r)
+                      | _ -> acc)
+                    (now + 1) (inst_uses i)
+                in
+                note t
+              end
+              else begin
+                let issue_done = ref false in
+                (match classify_unit div i with
+                | U_valu ->
+                    if (not !valu_used) && cu.simd_busy_until.(simd) <= now
+                    then begin
+                      let eff = Wave.exec w i ~mem:s.mem ~line_bytes:cfg.line_bytes in
+                      let busy =
+                        match eff with
+                        | Wave.E_trans -> cfg.valu_trans_latency
+                        | _ -> cfg.valu_latency
+                      in
+                      cu.simd_busy_until.(simd) <- now + busy;
+                      counters.valu_busy <- counters.valu_busy + busy;
+                      counters.valu_insts <- counters.valu_insts + 1;
+                      counters.valu_lane_ops <-
+                        counters.valu_lane_ops + Wave.active_lanes w;
+                      (match inst_def i with
+                      | Some d -> w.Wave.ready_at.(d) <- now + busy
+                      | None -> ());
+                      (match eff with
+                      | Wave.E_trap true ->
+                          incr detections;
+                          detected_at := Some now;
+                          Log.info (fun m ->
+                              m
+                                "cycle %d: output comparison trapped (CU %d, \
+                                 group %d, wave %d)"
+                                now cu.cu_id s.g.g_index w.Wave.wid);
+                          raise Trap_detected
+                      | _ -> ());
+                      valu_used := true;
+                      issue_done := true
+                    end
+                    else note cu.simd_busy_until.(simd)
+                | U_salu ->
+                    if (not !salu_used) && cu.salu_busy_until <= now then begin
+                      ignore (Wave.exec w i ~mem:s.mem ~line_bytes:cfg.line_bytes);
+                      cu.salu_busy_until <- now + 1;
+                      counters.salu_busy <- counters.salu_busy + 1;
+                      counters.salu_insts <- counters.salu_insts + 1;
+                      (match inst_def i with
+                      | Some d -> w.Wave.ready_at.(d) <- now + cfg.salu_latency
+                      | None -> ());
+                      salu_used := true;
+                      issue_done := true
+                    end
+                    else note cu.salu_busy_until
+                | U_lds ->
+                    if (not !lds_used) && cu.lds_busy_until <= now then begin
+                      let eff = Wave.exec w i ~mem:s.mem ~line_bytes:cfg.line_bytes in
+                      cu.lds_busy_until <- now + cfg.lds_issue_cycles;
+                      counters.lds_busy <-
+                        counters.lds_busy + cfg.lds_issue_cycles;
+                      counters.lds_insts <- counters.lds_insts + 1;
+                      (match eff with
+                      | Wave.E_mem m ->
+                          counters.lds_lane_ops <-
+                            counters.lds_lane_ops + m.lanes;
+                          if m.mkind = Wave.MAtomic then
+                            counters.atomics <- counters.atomics + 1
+                      | _ -> ());
+                      (match inst_def i with
+                      | Some d -> w.Wave.ready_at.(d) <- now + cfg.lds_latency
+                      | None -> ());
+                      lds_used := true;
+                      issue_done := true
+                    end
+                    else note cu.lds_busy_until
+                | U_vmem ->
+                    let is_store =
+                      match i with Store (Global, _, _) -> true | _ -> false
+                    in
+                    if !vmem_used || Memsys.(ms.mem_busy_until.(cu.cu_id)) > now
+                    then note Memsys.(ms.mem_busy_until.(cu.cu_id))
+                    else if
+                      is_store && Memsys.store_would_stall ms ~cu:cu.cu_id ~now
+                    then begin
+                      write_stall_seen := true;
+                      note (now + 8)
+                    end
+                    else begin
+                      let eff = Wave.exec w i ~mem:s.mem ~line_bytes:cfg.line_bytes in
+                      (match eff with
+                      | Wave.E_mem m ->
+                          let nlines = max 1 (List.length m.lines) in
+                          (* atomics are processed at the L2: they occupy
+                             the CU's vector memory unit only to issue,
+                             not per line *)
+                          let busy =
+                            if m.mkind = Wave.MAtomic then 8
+                            else 4 + (4 * (nlines - 1))
+                          in
+                          Memsys.(ms.mem_busy_until.(cu.cu_id) <- now + busy);
+                          counters.mem_unit_busy <-
+                            counters.mem_unit_busy + busy;
+                          counters.vmem_insts <- counters.vmem_insts + 1;
+                          (match m.mkind with
+                          | Wave.MLoad ->
+                              counters.global_load_insts <-
+                                counters.global_load_insts + 1;
+                              let t =
+                                Memsys.load_timed ms ~cu:cu.cu_id ~now m.lines
+                              in
+                              (match inst_def i with
+                              | Some d -> w.Wave.ready_at.(d) <- t
+                              | None -> ())
+                          | Wave.MStore ->
+                              counters.global_store_insts <-
+                                counters.global_store_insts + 1;
+                              Memsys.store_timed ms ~cu:cu.cu_id ~now m.lines
+                          | Wave.MAtomic ->
+                              counters.atomics <- counters.atomics + 1;
+                              let t =
+                                Memsys.atomic_timed ms ~cu:cu.cu_id ~now m.lines
+                              in
+                              (match inst_def i with
+                              | Some d -> w.Wave.ready_at.(d) <- t
+                              | None -> ()))
+                      | _ -> ());
+                      vmem_used := true;
+                      issue_done := true
+                    end);
+                if !issue_done then begin
+                  Wave.consume w;
+                  w.Wave.last_issue <- now;
+                  note (now + 1)
+                end
+              end
+      end
+    done;
+    if !write_stall_seen then
+      counters.write_stalled <- counters.write_stalled + 1;
+    if !other_simd_work || !events then note (now + 1);
+    cu.wake <- !wake
+  in
+
+  (* -------------------- fault injection -------------------- *)
+  let resident_slots () =
+    Array.to_list cus
+    |> List.concat_map (fun cu ->
+           Array.to_list cu.sched |> List.filter (fun s -> s.live))
+  in
+  let try_inject target =
+    match target with
+    | T_vgpr -> (
+        match resident_slots () with
+        | [] -> false
+        | slots ->
+            let s = List.nth slots (rand (List.length slots)) in
+            let divergent_regs =
+              List.filter (fun r -> div.(r)) (List.init kernel.nregs Fun.id)
+            in
+            let pool = if divergent_regs = [] then List.init kernel.nregs Fun.id else divergent_regs in
+            let r = List.nth pool (rand (List.length pool)) in
+            let lane = rand s.w.Wave.nlanes in
+            let bit = rand 32 in
+            let v = Wave.get_reg s.w r lane in
+            Wave.set_reg s.w r lane (F32.norm (v lxor (1 lsl bit)));
+            true)
+    | T_sgpr -> (
+        match resident_slots () with
+        | [] -> false
+        | slots ->
+            let s = List.nth slots (rand (List.length slots)) in
+            let uniform_regs =
+              List.filter (fun r -> not div.(r)) (List.init kernel.nregs Fun.id)
+            in
+            if uniform_regs = [] then false
+            else begin
+              let r = List.nth uniform_regs (rand (List.length uniform_regs)) in
+              let bit = rand 32 in
+              (* scalar registers are one copy shared by the wavefront:
+                 the flip is visible to every lane *)
+              for lane = 0 to s.w.Wave.nlanes - 1 do
+                let v = Wave.get_reg s.w r lane in
+                Wave.set_reg s.w r lane (F32.norm (v lxor (1 lsl bit)))
+              done;
+              true
+            end)
+    | T_lds -> (
+        let groups =
+          Array.to_list cus
+          |> List.concat_map (fun cu -> cu.groups)
+          |> List.filter (fun g -> Bytes.length g.lds_mem >= 4)
+        in
+        match groups with
+        | [] -> false
+        | gs ->
+            if lds_total < 4 then false
+            else begin
+              let g = List.nth gs (rand (List.length gs)) in
+              let byte = rand lds_total in
+              let bit = rand 8 in
+              let c = Char.code (Bytes.get g.lds_mem byte) in
+              Bytes.set g.lds_mem byte (Char.chr (c lxor (1 lsl bit)));
+              true
+            end)
+    | T_l1 ->
+        let cu = rand cfg.n_cus in
+        Memsys.inject_l1_poison ms ~cu ~seed:(rand 1_000_000_007)
+  in
+
+  (* -------------------- main loop -------------------- *)
+  let windows = ref [] in
+  let last_window_snapshot = ref (Counters.create ()) in
+  let next_window = ref window_cycles in
+  let cycle = ref 0 in
+  let outcome = ref Finished in
+  (try
+     let running = ref true in
+     while !running do
+       let now = !cycle in
+       if now >= max_cycles then begin
+         outcome := Hung;
+         running := false
+       end
+       else begin
+         try_dispatch now;
+         (match !inject_pending with
+         | Some p when now >= p.at_cycle ->
+             if try_inject p.target then begin
+               inject_applied := true;
+               injected_at := Some now;
+               Log.info (fun m -> m "cycle %d: fault injected" now);
+               inject_pending := None
+             end
+         | _ -> ());
+         Array.iter (fun cu -> if cu.wake <= now then scan_cu cu now) cus;
+         if now >= !next_window then begin
+           let snap = Counters.copy counters in
+           snap.Counters.cycles <- now;
+           windows := Counters.delta snap !last_window_snapshot :: !windows;
+           last_window_snapshot := snap;
+           next_window := !next_window + window_cycles
+         end;
+         if !groups_completed >= total_groups then running := false
+         else begin
+           (* advance: skip ahead when every CU is provably idle *)
+           let nxt = ref (now + 1) in
+           let min_wake = ref max_int in
+           Array.iter (fun cu -> if cu.wake < !min_wake then min_wake := cu.wake) cus;
+           if !min_wake > now + 1 && !min_wake < max_int then nxt := !min_wake;
+           if !min_wake = max_int && !next_group >= total_groups then begin
+             (* nothing can ever run again: deadlock (e.g. barrier with
+                retired waves). Treat as hang. *)
+             outcome := Hung;
+             running := false
+           end;
+           (match !inject_pending with
+           | Some p when p.at_cycle > now && p.at_cycle < !nxt ->
+               nxt := p.at_cycle
+           | _ -> ());
+           if !next_window < !nxt then nxt := !next_window;
+           cycle := !nxt
+         end
+       end
+     done
+   with
+  | Trap_detected -> outcome := Detected
+  | Memsys.Fault msg -> outcome := Crashed msg);
+  counters.cycles <- !cycle;
+  {
+    cycles = !cycle;
+    outcome = !outcome;
+    counters;
+    windows = Array.of_list (List.rev !windows);
+    occupancy;
+    usage;
+    groups_completed = !groups_completed;
+    inject_applied = !inject_applied;
+    injected_at = !injected_at;
+    detected_at = !detected_at;
+  }

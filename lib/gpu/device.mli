@@ -1,0 +1,97 @@
+(** The device: buffer management, work-group dispatch, the per-cycle
+    issue loop, performance counters, power-window sampling and fault
+    injection. This is the simulator's public launch API.
+
+    The scheduling model follows GCN: each compute unit owns four SIMD
+    units; on cycle [c] the SIMD [c mod 4] gets an issue turn, during
+    which its resident wavefronts may each issue at most one instruction
+    (one vector ALU op plus at most one memory, one LDS and one scalar op
+    to the CU-shared units). Wavefronts are scoreboarded, so memory
+    latency is hidden exactly when enough other wavefronts are resident —
+    the mechanism behind the paper's "memory-bound kernels get cheap RMT"
+    result. *)
+
+val log_src : Logs.src
+(** Scheduler-event log source ("gpu.device"): dispatches, retirements,
+    detections, injections at debug/info level. *)
+
+(** {1 Device and buffers} *)
+
+type t
+
+val create : Config.t -> t
+
+type buffer = { addr : int; size : int }
+
+val alloc : t -> int -> buffer
+(** Bump-allocate [bytes] of device memory (256-byte aligned). *)
+
+val free_all : t -> unit
+(** Reset the bump allocator (invalidates existing buffers). *)
+
+val write_i32 : t -> buffer -> int -> int -> unit
+val read_i32 : t -> buffer -> int -> int
+val write_f32 : t -> buffer -> int -> float -> unit
+val read_f32 : t -> buffer -> int -> float
+val write_i32_array : t -> buffer -> int array -> unit
+val write_f32_array : t -> buffer -> float array -> unit
+val read_i32_array : t -> buffer -> int -> int array
+val read_f32_array : t -> buffer -> int -> float array
+val fill_i32 : t -> buffer -> int -> int -> unit
+
+(** {1 Launching} *)
+
+type arg = A_buf of buffer | A_i32 of int | A_f32 of float
+
+type outcome =
+  | Finished
+  | Detected  (** an RMT output comparison fired a trap *)
+  | Crashed of string  (** wild memory access *)
+  | Hung  (** watchdog expired *)
+
+(** {1 Fault injection} *)
+
+type inject_target =
+  | T_vgpr  (** one bit, one lane, one live vector register *)
+  | T_sgpr  (** one bit of a uniform (scalar-file) register, all lanes *)
+  | T_lds   (** one bit of a resident group's LDS *)
+  | T_l1    (** poison a resident L1 line on one CU *)
+
+type inject_plan = { at_cycle : int; target : inject_target; iseed : int }
+
+type result = {
+  cycles : int;
+  outcome : outcome;
+  counters : Counters.t;
+  windows : Counters.t array;  (** per-power-window event deltas *)
+  occupancy : Occupancy.t;
+  usage : Gpu_ir.Regpressure.usage;
+  groups_completed : int;
+  inject_applied : bool;
+  injected_at : int option;  (** cycle the fault actually landed *)
+  detected_at : int option;
+      (** cycle an output comparison trapped; [detected_at - injected_at]
+          is the detection latency (containment window) *)
+}
+
+type launch_opts = {
+  usage_override : Gpu_ir.Regpressure.usage option;
+      (** replace the estimated resource usage (the paper's resource-
+          inflation component-analysis experiment) *)
+  max_cycles : int option;  (** watchdog override *)
+  window_cycles : int option;  (** power-sampling window override *)
+  inject : inject_plan option;
+  verify_kernel : bool;  (** run {!Gpu_ir.Verify.check} first (default) *)
+}
+
+val default_opts : launch_opts
+
+val launch :
+  ?opts:launch_opts ->
+  t ->
+  Gpu_ir.Types.kernel ->
+  nd:Geom.ndrange ->
+  args:arg list ->
+  result
+(** Run a kernel over an NDRange. Deterministic: same kernel, arguments,
+    memory contents and options produce the same result. *)

@@ -1,0 +1,52 @@
+(** NDRange geometry: launch dimensions and per-group views used by the
+    wavefront interpreter to answer OpenCL work-item queries. *)
+
+type ndrange = {
+  global : int array;  (** 3 entries; unused dims = 1 *)
+  local : int array;
+}
+
+let make_ndrange ?(gy = 1) ?(gz = 1) ?(ly = 1) ?(lz = 1) gx lx =
+  { global = [| gx; gy; gz |]; local = [| lx; ly; lz |] }
+
+let validate (nd : ndrange) =
+  Array.iteri
+    (fun d g ->
+      let l = nd.local.(d) in
+      if l <= 0 || g <= 0 then
+        invalid_arg (Printf.sprintf "NDRange dim %d has non-positive size" d);
+      if g mod l <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "NDRange dim %d: global size %d not divisible by local size %d" d
+             g l))
+    nd.global
+
+let num_groups (nd : ndrange) d = nd.global.(d) / nd.local.(d)
+let total_groups (nd : ndrange) =
+  num_groups nd 0 * num_groups nd 1 * num_groups nd 2
+
+let group_items (nd : ndrange) = nd.local.(0) * nd.local.(1) * nd.local.(2)
+let total_items (nd : ndrange) = nd.global.(0) * nd.global.(1) * nd.global.(2)
+
+(** Coordinates of the group with flat index [g] (x fastest). *)
+let group_coord (nd : ndrange) g =
+  let nx = num_groups nd 0 and ny = num_groups nd 1 in
+  [| g mod nx; g / nx mod ny; g / (nx * ny) |]
+
+(** What a wavefront needs to answer id/size queries for its group. *)
+type group_view = {
+  nd : ndrange;
+  gcoord : int array;  (** this group's 3-dim coordinates *)
+}
+
+(** Decompose a flat local id into its dimension-[d] component. *)
+let local_id_of_flat (v : group_view) ~flat d =
+  let lx = v.nd.local.(0) and ly = v.nd.local.(1) in
+  match d with
+  | 0 -> flat mod lx
+  | 1 -> flat / lx mod ly
+  | _ -> flat / (lx * ly)
+
+let global_id_of_flat (v : group_view) ~flat d =
+  (v.gcoord.(d) * v.nd.local.(d)) + local_id_of_flat v ~flat d

@@ -1,0 +1,30 @@
+(** NDRange geometry: launch dimensions and per-group views used by the
+    wavefront interpreter to answer OpenCL work-item queries. *)
+
+type ndrange = {
+  global : int array;  (** 3 entries; unused dims = 1 *)
+  local : int array;
+}
+
+val make_ndrange :
+  ?gy:int -> ?gz:int -> ?ly:int -> ?lz:int -> int -> int -> ndrange
+(** [make_ndrange gx lx] builds a 1D range; optional arguments extend it
+    to 2D/3D. *)
+
+val validate : ndrange -> unit
+(** @raise Invalid_argument unless every global size is positive and
+    divisible by its local size. *)
+
+val num_groups : ndrange -> int -> int
+val total_groups : ndrange -> int
+val group_items : ndrange -> int
+val total_items : ndrange -> int
+
+val group_coord : ndrange -> int -> int array
+(** Coordinates of the group with flat index [g] (x fastest). *)
+
+(** What a wavefront needs to answer id/size queries for its group. *)
+type group_view = { nd : ndrange; gcoord : int array }
+
+val local_id_of_flat : group_view -> flat:int -> int -> int
+val global_id_of_flat : group_view -> flat:int -> int -> int

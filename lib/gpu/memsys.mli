@@ -1,0 +1,58 @@
+(** Global memory system: one functional memory image plus a timing
+    model of the per-CU write-through L1s, the shared L2 and DRAM
+    bandwidth. Values are always served from the single image (caches
+    are tag-only) except for injected L1 poison, which models a
+    corrupted cached copy. *)
+
+exception Fault of string
+(** Wild (out-of-bounds or unaligned) access; surfaces as a [Crashed]
+    launch outcome. *)
+
+type t = {
+  cfg : Config.t;
+  data : Bytes.t;
+  l1s : Cache.t array;
+  l2 : Cache.t;
+  mutable dram_next_free : float;
+  write_busy_until : float array;
+  mutable mem_busy_until : int array;  (** per-CU vector memory unit *)
+  counters : Counters.t;
+  mutable poison : poison option;
+}
+
+and poison = {
+  p_cu : int;
+  p_line : int;
+  p_word : int;
+  p_bit : int;
+  mutable p_active : bool;
+}
+
+val create : Config.t -> Counters.t -> data:Bytes.t -> t
+
+(** {1 Functional access} *)
+
+val read32 : t -> int -> int
+(** Host/debug read; never poisoned. *)
+
+val write32 : t -> int -> int -> unit
+
+val load32 : t -> cu:int -> int -> int
+(** Device-side load (applies any active L1 poison for [cu]). *)
+
+val store32 : t -> cu:int -> int -> int -> unit
+(** Device-side store; refreshes any poisoned copy of its line. *)
+
+(** {1 Timing} *)
+
+val load_timed : t -> cu:int -> now:int -> int list -> int
+(** Completion cycle of a coalesced load of the given lines. *)
+
+val store_would_stall : t -> cu:int -> now:int -> bool
+val store_timed : t -> cu:int -> now:int -> int list -> unit
+val atomic_timed : t -> cu:int -> now:int -> int list -> int
+
+(** {1 Fault injection} *)
+
+val inject_l1_poison : t -> cu:int -> seed:int -> bool
+val inject_memory_bit : t -> addr:int -> bit:int -> unit

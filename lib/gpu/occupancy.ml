@@ -1,0 +1,61 @@
+(** Static occupancy calculation: how many work-groups and wavefronts of a
+    kernel fit on one compute unit, and which resource limits them.
+
+    This is the mechanism behind the paper's "costs of doubling the size
+    of work-groups" analysis (Sections 6.4 and 7.4): RMT's larger
+    work-groups and extra VGPR/LDS requirements reduce the number of
+    schedulable work-groups, which costs latency-hiding ability. *)
+
+type limiter = L_waves | L_vgpr | L_sgpr | L_lds | L_group_slots
+
+let limiter_name = function
+  | L_waves -> "wave-slots"
+  | L_vgpr -> "VGPR"
+  | L_sgpr -> "SGPR"
+  | L_lds -> "LDS"
+  | L_group_slots -> "group-slots"
+
+type t = {
+  waves_per_group : int;
+  groups_per_cu : int;
+  waves_per_cu : int;
+  limiter : limiter;
+}
+
+let compute (cfg : Config.t) ~(usage : Gpu_ir.Regpressure.usage) ~group_items =
+  let wpg = Config.waves_per_group cfg group_items in
+  let waves_by_slot = cfg.simds_per_cu * cfg.max_waves_per_simd in
+  let per_simd_by_vgpr =
+    if usage.vgprs <= 0 then cfg.max_waves_per_simd
+    else min cfg.max_waves_per_simd (cfg.vgprs_per_simd / max 1 usage.vgprs)
+  in
+  let per_simd_by_sgpr =
+    if usage.sgprs <= 0 then cfg.max_waves_per_simd
+    else min cfg.max_waves_per_simd (cfg.sgprs_per_simd / max 1 usage.sgprs)
+  in
+  let waves_by_vgpr = cfg.simds_per_cu * per_simd_by_vgpr in
+  let waves_by_sgpr = cfg.simds_per_cu * per_simd_by_sgpr in
+  let groups_by_lds =
+    if usage.lds <= 0 then cfg.max_groups_per_cu
+    else cfg.lds_per_cu / usage.lds
+  in
+  let candidates =
+    [
+      (cfg.max_groups_per_cu, L_group_slots);
+      (waves_by_slot / wpg, L_waves);
+      (waves_by_vgpr / wpg, L_vgpr);
+      (waves_by_sgpr / wpg, L_sgpr);
+      (groups_by_lds, L_lds);
+    ]
+  in
+  let groups, limiter =
+    List.fold_left
+      (fun (g, l) (g', l') -> if g' < g then (g', l') else (g, l))
+      (max_int, L_waves) candidates
+  in
+  let groups = max groups 0 in
+  { waves_per_group = wpg; groups_per_cu = groups; waves_per_cu = groups * wpg; limiter }
+
+let to_string o =
+  Printf.sprintf "%d groups/CU (%d waves/CU, %d waves/group, limited by %s)"
+    o.groups_per_cu o.waves_per_cu o.waves_per_group (limiter_name o.limiter)

@@ -1,0 +1,20 @@
+(** Static occupancy calculation: how many work-groups and wavefronts of
+    a kernel fit on one compute unit, and which resource limits them —
+    the mechanism behind the paper's doubled-work-group scheduling
+    costs (Sections 6.4 and 7.4). *)
+
+type limiter = L_waves | L_vgpr | L_sgpr | L_lds | L_group_slots
+
+val limiter_name : limiter -> string
+
+type t = {
+  waves_per_group : int;
+  groups_per_cu : int;
+  waves_per_cu : int;
+  limiter : limiter;
+}
+
+val compute :
+  Config.t -> usage:Gpu_ir.Regpressure.usage -> group_items:int -> t
+
+val to_string : t -> string

@@ -1,0 +1,489 @@
+(** Wavefront state and interpreter.
+
+    A wavefront executes the structured IR with an explicit continuation
+    stack and a 64-bit execution mask, exactly as SIMT hardware does with
+    its reconvergence stack:
+
+    - [If] splits the mask into taken/not-taken parts and pushes a restore
+      continuation for the reconvergence point;
+    - [While] keeps a [K_loop] test continuation on the stack; lanes leave
+      the loop individually as their condition goes false, and the saved
+      mask is restored when no lane remains;
+    - [Barrier] parks the wavefront until its work-group releases it.
+
+    Control bookkeeping is performed during {!peek} (it models the
+    near-free SALU branch handling of GCN); only real instructions are
+    returned to the compute unit for timed issue. Functional execution
+    happens at issue time in {!exec}. *)
+
+open Gpu_ir.Types
+module F32 = Gpu_ir.F32
+
+type cont =
+  | K_stmts of stmt list
+  | K_restore of int64
+  | K_set_mask of int64 * stmt list
+  | K_loop of stmt list * value * stmt list * int64
+      (** header, condition, body, saved mask; reached = "test now" *)
+
+type state = Running | At_barrier | Retired
+
+type t = {
+  wid : int;  (** wave index within its group *)
+  nlanes : int;
+  flat_base : int;  (** flat local id of lane 0 *)
+  regs : int array;  (** nregs x 64, lane-major within register *)
+  ready_at : int array;  (** per-register scoreboard *)
+  mutable mask : int64;
+  full_mask : int64;
+  mutable stack : cont list;
+  mutable pending : inst option;
+  mutable state : state;
+  mutable simd : int;
+  mutable last_issue : int;  (** cycle of last issue, for fairness *)
+  mutable retire_accounted : bool;
+      (** set once the scheduler has released this wave's resources; a wave
+          can appear in two scheduler arrays across a rebuild, so release
+          must be idempotent *)
+}
+
+let lane_bit lane = Int64.shift_left 1L lane
+let lane_active mask lane = Int64.logand mask (lane_bit lane) <> 0L
+
+let popcount64 (m : int64) =
+  let rec go m acc =
+    if m = 0L then acc
+    else go (Int64.logand m (Int64.sub m 1L)) (acc + 1)
+  in
+  go m 0
+
+let create ~wid ~nregs ~nlanes ~flat_base ~body ~simd =
+  let full_mask =
+    if nlanes >= 64 then -1L else Int64.sub (Int64.shift_left 1L nlanes) 1L
+  in
+  {
+    wid;
+    nlanes;
+    flat_base;
+    regs = Array.make (max nregs 1 * 64) 0;
+    ready_at = Array.make (max nregs 1) 0;
+    mask = full_mask;
+    full_mask;
+    stack = [ K_stmts body ];
+    pending = None;
+    state = Running;
+    simd;
+    last_issue = 0;
+    retire_accounted = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Register access                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let get_reg t r lane = t.regs.((r * 64) + lane)
+let set_reg t r lane v = t.regs.((r * 64) + lane) <- v
+
+(** Read an operand for [lane]. *)
+let read t v lane =
+  match v with
+  | Reg r -> get_reg t r lane
+  | Imm n -> Int32.to_int n
+  | Imm_f32 x -> F32.of_float x
+
+let value_ready t ~now = function
+  | Reg r -> t.ready_at.(r) <= now
+  | Imm _ | Imm_f32 _ -> true
+
+(** All source operands of [i] are available at [now]. *)
+let inst_ready t ~now (i : inst) =
+  List.for_all (value_ready t ~now) (inst_uses i)
+
+(* ------------------------------------------------------------------ *)
+(* Control-flow advancement                                            *)
+(* ------------------------------------------------------------------ *)
+
+type peek_result =
+  | P_inst of inst  (** next instruction, ready to be considered for issue *)
+  | P_stall         (** waiting on a register for control flow *)
+  | P_barrier_arrived  (** wave just reached a barrier *)
+  | P_waiting       (** parked at a barrier *)
+  | P_done
+
+(* Mask of active lanes whose value of [c] is nonzero. *)
+let cond_mask t c =
+  let m = ref 0L in
+  for lane = 0 to t.nlanes - 1 do
+    if lane_active t.mask lane && read t c lane <> 0 then
+      m := Int64.logor !m (lane_bit lane)
+  done;
+  !m
+
+(** Advance through control flow until an instruction, a stall, a barrier
+    or the end of the kernel is reached. [on_branch] is called for every
+    control-flow decision (used for counter accounting). [fuel] bounds the
+    number of control transitions handled in one call, so a degenerate
+    control-only loop (e.g. an empty-body spin) yields to the scheduler
+    and eventually trips the watchdog instead of livelocking the
+    simulator. *)
+let rec peek ?(fuel = 256) t ~now ~on_branch =
+  if fuel <= 0 then P_stall
+  else begin
+    let peek t ~now ~on_branch = peek ~fuel:(fuel - 1) t ~now ~on_branch in
+    match t.state with
+  | Retired -> P_done
+  | At_barrier -> P_waiting
+  | Running -> (
+      match t.pending with
+      | Some i -> P_inst i
+      | None -> (
+          match t.stack with
+          | [] ->
+              t.state <- Retired;
+              P_done
+          | K_stmts [] :: rest ->
+              t.stack <- rest;
+              peek t ~now ~on_branch
+          | K_restore m :: rest ->
+              t.mask <- m;
+              t.stack <- rest;
+              peek t ~now ~on_branch
+          | K_set_mask (m, ss) :: rest ->
+              t.mask <- m;
+              t.stack <- K_stmts ss :: rest;
+              peek t ~now ~on_branch
+          | K_loop (h, c, b, saved) :: rest ->
+              if not (value_ready t ~now c) then P_stall
+              else begin
+                on_branch ();
+                let live = cond_mask t c in
+                if live = 0L then begin
+                  t.mask <- saved;
+                  t.stack <- rest;
+                  peek t ~now ~on_branch
+                end
+                else begin
+                  t.mask <- live;
+                  t.stack <-
+                    K_stmts b :: K_stmts h
+                    :: K_loop (h, c, b, saved)
+                    :: rest;
+                  peek t ~now ~on_branch
+                end
+              end
+          | K_stmts (s :: ss) :: rest -> (
+              match s with
+              | I Barrier ->
+                  t.stack <- K_stmts ss :: rest;
+                  t.state <- At_barrier;
+                  P_barrier_arrived
+              | I (Fence _) ->
+                  (* ordering is implicit in the issue-time memory model *)
+                  t.stack <- K_stmts ss :: rest;
+                  peek t ~now ~on_branch
+              | I i ->
+                  t.stack <- K_stmts ss :: rest;
+                  t.pending <- Some i;
+                  P_inst i
+              | If (c, th, el) ->
+                  if not (value_ready t ~now c) then P_stall
+                  else begin
+                    on_branch ();
+                    let saved = t.mask in
+                    let tmask = cond_mask t c in
+                    let emask = Int64.logand saved (Int64.lognot tmask) in
+                    t.stack <- K_stmts ss :: rest;
+                    (if tmask <> 0L && emask <> 0L then begin
+                       t.mask <- tmask;
+                       t.stack <-
+                         K_stmts th
+                         :: K_set_mask (emask, el)
+                         :: K_restore saved :: t.stack
+                     end
+                     else if tmask <> 0L then begin
+                       t.mask <- tmask;
+                       t.stack <- K_stmts th :: K_restore saved :: t.stack
+                     end
+                     else if emask <> 0L then begin
+                       t.mask <- emask;
+                       t.stack <- K_stmts el :: K_restore saved :: t.stack
+                     end);
+                    peek t ~now ~on_branch
+                  end
+              | While (h, c, b) ->
+                  on_branch ();
+                  t.stack <-
+                    K_stmts h
+                    :: K_loop (h, c, b, t.mask)
+                    :: K_stmts ss :: rest;
+                  peek t ~now ~on_branch)))
+  end
+
+(** Consume the pending instruction after issue. *)
+let consume t = t.pending <- None
+
+(** Release from a barrier. *)
+let release_barrier t = if t.state = At_barrier then t.state <- Running
+
+(* ------------------------------------------------------------------ *)
+(* Functional execution                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Memory/argument interface a wave executes against; provided by the
+    device per group. *)
+type mem_ops = {
+  mload : space -> int -> int;
+  mstore : space -> int -> int -> unit;
+  matomic : atomic_op -> space -> int -> int -> int;
+  mcas : space -> int -> int -> int -> int;
+  arg : int -> int;
+  lds_base : string -> int;
+  view : Geom.group_view;
+}
+
+type mem_kind = MLoad | MStore | MAtomic
+
+type effect_ =
+  | E_pure
+  | E_trans  (** transcendental VALU op (quarter-rate) *)
+  | E_mem of { mspace : space; mkind : mem_kind; lines : int list; lanes : int }
+  | E_trap of bool  (** true when the trap fired on some active lane *)
+
+let ibin_eval op a b =
+  let open F32 in
+  let ua = to_u a and ub = to_u b in
+  match op with
+  | Add -> norm (a + b)
+  | Sub -> norm (a - b)
+  | Mul -> norm (a * b)
+  | Div_s -> if b = 0 then 0 else norm (a / b)
+  | Div_u -> if ub = 0 then 0 else norm (ua / ub)
+  | Rem_s -> if b = 0 then 0 else norm (a mod b)
+  | Rem_u -> if ub = 0 then 0 else norm (ua mod ub)
+  | And -> norm (a land b)
+  | Or -> norm (a lor b)
+  | Xor -> norm (a lxor b)
+  | Shl -> norm (a lsl (ub land 31))
+  | Lshr -> norm (ua lsr (ub land 31))
+  | Ashr -> norm (a asr (ub land 31))
+  | Min_s -> min a b
+  | Max_s -> max a b
+  | Min_u -> if ua < ub then a else b
+  | Max_u -> if ua > ub then a else b
+  | Mulhi_u -> norm ((ua * ub) lsr 32)
+
+let fbin_eval op a b =
+  let fa = F32.to_float a and fb = F32.to_float b in
+  let r =
+    match op with
+    | Fadd -> fa +. fb
+    | Fsub -> fa -. fb
+    | Fmul -> fa *. fb
+    | Fdiv -> fa /. fb
+    | Fmin -> if fa < fb || Float.is_nan fb then fa else fb
+    | Fmax -> if fa > fb || Float.is_nan fb then fa else fb
+  in
+  F32.of_float r
+
+let funary_eval op a =
+  let x = F32.to_float a in
+  let r =
+    match op with
+    | Fneg -> -.x
+    | Fabs -> Float.abs x
+    | Fsqrt -> sqrt x
+    | Frsqrt -> 1.0 /. sqrt x
+    | Frcp -> 1.0 /. x
+    | Fexp -> exp x
+    | Flog -> log x
+    | Fsin -> sin x
+    | Fcos -> cos x
+    | Ffloor -> Float.floor x
+    | Fround -> Float.round x
+  in
+  F32.of_float r
+
+let funary_is_trans = function
+  | Fsqrt | Frsqrt | Frcp | Fexp | Flog | Fsin | Fcos -> true
+  | Fneg | Fabs | Ffloor | Fround -> false
+
+let icmp_eval op a b =
+  let ua = F32.to_u a and ub = F32.to_u b in
+  let r =
+    match op with
+    | Ieq -> a = b
+    | Ine -> a <> b
+    | Ilt_s -> a < b
+    | Ile_s -> a <= b
+    | Igt_s -> a > b
+    | Ige_s -> a >= b
+    | Ilt_u -> ua < ub
+    | Ige_u -> ua >= ub
+  in
+  if r then 1 else 0
+
+let fcmp_eval op a b =
+  let fa = F32.to_float a and fb = F32.to_float b in
+  let r =
+    match op with
+    | Feq -> fa = fb
+    | Fne -> fa <> fb
+    | Flt -> fa < fb
+    | Fle -> fa <= fb
+    | Fgt -> fa > fb
+    | Fge -> fa >= fb
+  in
+  if r then 1 else 0
+
+let cvt_eval op a =
+  match op with
+  | S32_to_f32 -> F32.of_float (float_of_int a)
+  | U32_to_f32 -> F32.of_float (float_of_int (F32.to_u a))
+  | F32_to_s32 -> F32.norm (int_of_float (F32.to_float a))
+  | F32_to_u32 ->
+      let x = F32.to_float a in
+      if Float.is_nan x || x <= -1.0 then 0
+      else F32.norm (int_of_float x)
+  | Bitcast -> a
+
+let special_eval (view : Geom.group_view) ~flat ~lds_base s =
+  match s with
+  | Global_id d -> Geom.global_id_of_flat view ~flat d
+  | Local_id d -> Geom.local_id_of_flat view ~flat d
+  | Group_id d -> view.gcoord.(d)
+  | Global_size d -> view.nd.global.(d)
+  | Local_size d -> view.nd.local.(d)
+  | Num_groups d -> Geom.num_groups view.nd d
+  | Lds_base name -> lds_base name
+
+(* Collect the unique cache lines touched by the active lanes' addresses. *)
+let collect_lines ~line_bytes addrs =
+  List.sort_uniq compare
+    (List.map (fun a -> a - (a mod line_bytes)) addrs)
+
+let swizzle_src_lane kind lane =
+  match kind with
+  | Dup_even -> lane land lnot 1
+  | Dup_odd -> lane lor 1
+  | Xor_mask m -> lane lxor m
+  | Bcast l -> l
+
+(** Execute [i] functionally for all active lanes of [t]. Returns the
+    effect classification used for timing. Raises {!Memsys.Fault} on wild
+    memory accesses. *)
+let exec t (i : inst) ~(mem : mem_ops) ~line_bytes : effect_ =
+  let each_lane f =
+    for lane = 0 to t.nlanes - 1 do
+      if lane_active t.mask lane then f lane
+    done
+  in
+  match i with
+  | Iarith (op, d, a, b) ->
+      each_lane (fun l -> set_reg t d l (ibin_eval op (read t a l) (read t b l)));
+      E_pure
+  | Farith (op, d, a, b) ->
+      each_lane (fun l -> set_reg t d l (fbin_eval op (read t a l) (read t b l)));
+      E_pure
+  | Funary (op, d, a) ->
+      each_lane (fun l -> set_reg t d l (funary_eval op (read t a l)));
+      if funary_is_trans op then E_trans else E_pure
+  | Icmp (op, d, a, b) ->
+      each_lane (fun l -> set_reg t d l (icmp_eval op (read t a l) (read t b l)));
+      E_pure
+  | Fcmp (op, d, a, b) ->
+      each_lane (fun l -> set_reg t d l (fcmp_eval op (read t a l) (read t b l)));
+      E_pure
+  | Select (d, c, x, y) ->
+      each_lane (fun l ->
+          set_reg t d l (if read t c l <> 0 then read t x l else read t y l));
+      E_pure
+  | Mov (d, a) ->
+      each_lane (fun l -> set_reg t d l (read t a l));
+      E_pure
+  | Cvt (op, d, a) ->
+      each_lane (fun l -> set_reg t d l (cvt_eval op (read t a l)));
+      E_pure
+  | Mad (d, a, b, c) ->
+      each_lane (fun l ->
+          set_reg t d l
+            (F32.norm ((read t a l * read t b l) + read t c l)));
+      E_pure
+  | Fma (d, a, b, c) ->
+      each_lane (fun l ->
+          let x = F32.to_float (read t a l)
+          and y = F32.to_float (read t b l)
+          and z = F32.to_float (read t c l) in
+          set_reg t d l (F32.of_float (Float.fma x y z)));
+      E_pure
+  | Special (s, d) ->
+      each_lane (fun l ->
+          let flat = t.flat_base + l in
+          set_reg t d l (special_eval mem.view ~flat ~lds_base:mem.lds_base s));
+      E_pure
+  | Arg (d, idx) ->
+      let v = mem.arg idx in
+      each_lane (fun l -> set_reg t d l v);
+      E_pure
+  | Load (sp, d, addr) ->
+      let addrs = ref [] in
+      each_lane (fun l ->
+          let a = read t addr l in
+          addrs := a :: !addrs;
+          set_reg t d l (mem.mload sp a));
+      let lanes = List.length !addrs in
+      let lines =
+        if sp = Global then collect_lines ~line_bytes !addrs else []
+      in
+      E_mem { mspace = sp; mkind = MLoad; lines; lanes }
+  | Store (sp, addr, v) ->
+      let addrs = ref [] in
+      each_lane (fun l ->
+          let a = read t addr l in
+          addrs := a :: !addrs;
+          mem.mstore sp a (read t v l));
+      let lanes = List.length !addrs in
+      let lines =
+        if sp = Global then collect_lines ~line_bytes !addrs else []
+      in
+      E_mem { mspace = sp; mkind = MStore; lines; lanes }
+  | Atomic (op, sp, d, addr, v) ->
+      let addrs = ref [] in
+      each_lane (fun l ->
+          let a = read t addr l in
+          addrs := a :: !addrs;
+          set_reg t d l (mem.matomic op sp a (read t v l)));
+      let lanes = List.length !addrs in
+      let lines =
+        if sp = Global then collect_lines ~line_bytes !addrs else []
+      in
+      E_mem { mspace = sp; mkind = MAtomic; lines; lanes }
+  | Cas (sp, d, addr, e, n) ->
+      let addrs = ref [] in
+      each_lane (fun l ->
+          let a = read t addr l in
+          addrs := a :: !addrs;
+          set_reg t d l (mem.mcas sp a (read t e l) (read t n l)));
+      let lanes = List.length !addrs in
+      let lines =
+        if sp = Global then collect_lines ~line_bytes !addrs else []
+      in
+      E_mem { mspace = sp; mkind = MAtomic; lines; lanes }
+  | Swizzle (kind, d, a) ->
+      (* snapshot sources first: swizzle reads inactive lanes too, and the
+         destination may alias the source *)
+      let snapshot = Array.init t.nlanes (fun l -> read t a l) in
+      each_lane (fun l ->
+          let s = swizzle_src_lane kind l in
+          let s = if s < t.nlanes then s else l in
+          set_reg t d l snapshot.(s));
+      E_pure
+  | Trap v ->
+      let fired = ref false in
+      each_lane (fun l -> if read t v l <> 0 then fired := true);
+      E_trap !fired
+  | Barrier | Fence _ ->
+      (* handled during peek; never issued *)
+      E_pure
+
+(** Active lane count (for power/event accounting). *)
+let active_lanes t = popcount64 t.mask

@@ -1,0 +1,82 @@
+(** Wavefront state and interpreter: executes the structured IR with an
+    explicit continuation stack and a 64-bit execution mask, exactly as
+    SIMT hardware does with its reconvergence stack. Control bookkeeping
+    happens during {!peek} (near-free, as on GCN's scalar branch unit);
+    real instructions are returned to the compute unit for timed issue
+    and executed functionally at issue time by {!exec}. *)
+
+open Gpu_ir.Types
+
+type cont =
+  | K_stmts of stmt list
+  | K_restore of int64
+  | K_set_mask of int64 * stmt list
+  | K_loop of stmt list * value * stmt list * int64
+
+type state = Running | At_barrier | Retired
+
+type t = {
+  wid : int;
+  nlanes : int;
+  flat_base : int;  (** flat local id of lane 0 *)
+  regs : int array;  (** nregs x 64, lane-major within a register *)
+  ready_at : int array;  (** per-register scoreboard *)
+  mutable mask : int64;
+  full_mask : int64;
+  mutable stack : cont list;
+  mutable pending : inst option;
+  mutable state : state;
+  mutable simd : int;
+  mutable last_issue : int;
+  mutable retire_accounted : bool;
+}
+
+val create :
+  wid:int -> nregs:int -> nlanes:int -> flat_base:int -> body:stmt list ->
+  simd:int -> t
+
+val get_reg : t -> reg -> int -> int
+val set_reg : t -> reg -> int -> int -> unit
+val read : t -> value -> int -> int
+val inst_ready : t -> now:int -> inst -> bool
+val lane_active : int64 -> int -> bool
+val popcount64 : int64 -> int
+val active_lanes : t -> int
+
+type peek_result =
+  | P_inst of inst
+  | P_stall
+  | P_barrier_arrived
+  | P_waiting
+  | P_done
+
+val peek : ?fuel:int -> t -> now:int -> on_branch:(unit -> unit) -> peek_result
+(** Advance through control flow to the next instruction, stall, barrier
+    or retirement. [fuel] bounds control transitions per call so a
+    degenerate control-only loop yields to the watchdog. *)
+
+val consume : t -> unit
+val release_barrier : t -> unit
+
+(** Memory/argument interface a wave executes against. *)
+type mem_ops = {
+  mload : space -> int -> int;
+  mstore : space -> int -> int -> unit;
+  matomic : atomic_op -> space -> int -> int -> int;
+  mcas : space -> int -> int -> int -> int;
+  arg : int -> int;
+  lds_base : string -> int;
+  view : Geom.group_view;
+}
+
+type mem_kind = MLoad | MStore | MAtomic
+
+type effect_ =
+  | E_pure
+  | E_trans  (** transcendental VALU op (quarter rate) *)
+  | E_mem of { mspace : space; mkind : mem_kind; lines : int list; lanes : int }
+  | E_trap of bool
+
+val exec : t -> inst -> mem:mem_ops -> line_bytes:int -> effect_
+(** Execute functionally for all active lanes; returns the timing
+    classification. @raise Memsys.Fault on wild accesses. *)

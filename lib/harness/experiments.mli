@@ -1,0 +1,103 @@
+(** The paper's evaluation, experiment by experiment — one function per
+    table and figure plus the extension studies, each returning its
+    regenerated content as text. Results are cached per (benchmark,
+    variant, overrides) within a context; progress goes to stderr. *)
+
+type ctx
+
+val create_ctx : ?cfg:Gpu_sim.Config.t -> ?quick:bool -> unit -> ctx
+(** [quick] shrinks the fault campaigns (CI use). *)
+
+val get :
+  ctx ->
+  ?tag:string ->
+  ?scale:int ->
+  ?usage_override:Gpu_ir.Regpressure.usage ->
+  ?window_cycles:int ->
+  Kernels.Bench.t ->
+  Rmt_core.Transform.variant ->
+  Run.summary
+(** Cached {!Run.run}. *)
+
+(** {1 The paper's tables and figures} *)
+
+val table1 : unit -> string
+(** SEC-DED ECC overheads per GCN CU. *)
+
+val table2 : unit -> string
+val table3 : unit -> string
+
+val fig2 : ctx -> string
+(** Intra-Group ±LDS slowdowns, 16 kernels. *)
+
+val fig3 : ctx -> string
+(** VALUBusy / MemUnitBusy / WriteUnitStalled / LDSBusy. *)
+
+val fig4 : ctx -> string
+(** Intra-Group overhead components (doubling / redundant compute /
+    communication). *)
+
+val fig5 : ctx -> string
+(** Average and peak power for the long-running kernels. *)
+
+val fig6 : ctx -> string
+(** Inter-Group slowdowns. *)
+
+val fig7 : ctx -> string
+(** Inter-Group overhead components (starred doubling subset). *)
+
+val fig8 : unit -> string
+(** Swizzle lane diagram, executed on the simulated wavefront. *)
+
+val fig9 : ctx -> string
+(** FAST (VRF swizzle) communication vs the LDS buffer. *)
+
+val coverage : ctx -> string
+(** Fault-injection campaigns validating Tables 2/3 empirically. *)
+
+val coverage_experiment :
+  ctx -> Kernels.Bench.t -> Rmt_core.Transform.variant ->
+  Fault.Campaign.experiment
+
+(** {1 Extension studies (beyond the paper)} *)
+
+val occupancy : ctx -> string
+(** Groups/CU, waves/CU and the binding resource per kernel version. *)
+
+val opt_ablation : ctx -> string
+(** RMT cost with and without the {!Gpu_ir.Opt} cleanup pipeline. *)
+
+val tmr : ctx -> string
+(** DMR (detect) vs TMR (correct) on a stencil, with fault dispositions. *)
+
+val wavesize : ctx -> string
+(** Intra-Group cost at wavefront sizes 64/32/16. *)
+
+val naive : ctx -> string
+(** The Section 3.4 full-duplication baseline vs on-GPU RMT. *)
+
+val schedpolicy : ctx -> string
+(** Greedy vs round-robin wavefront scheduling. *)
+
+val paper_compare : ctx -> string
+(** Measured slowdowns against values read off the paper's bars, with
+    Spearman rank correlations. *)
+
+val spearman : float list -> float list -> float
+(** Rank correlation of two paired samples. *)
+
+val pool : ctx -> string
+(** Per-item vs pooled two-tier Inter-Group communication buffers. *)
+
+val explain : ctx -> string
+(** Per-kernel diagnosis from counters and occupancy (Sec. 6.4 style). *)
+
+val devscale : ctx -> string
+(** RMT cost on a 12-CU vs a 32-CU device (the exascale direction). *)
+
+val export : ?dir:string -> ?benches:Kernels.Bench.t list -> ctx -> string
+(** Write the headline figure series as CSV files; returns a report of
+    the paths written. *)
+
+val all : ctx -> string
+(** Everything above except {!export}. *)

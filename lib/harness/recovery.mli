@@ -1,0 +1,32 @@
+(** Detection-to-recovery runtime: checkpoint device memory, launch, and
+    on a detected fault roll back and re-execute. The paper treats
+    recovery as orthogonal to its detection contribution (Section 1);
+    this module supplies the simplest checkpoint/restart so the system
+    is usable end to end. *)
+
+type attempt = { a_outcome : Gpu_sim.Device.outcome; a_cycles : int }
+
+type result = {
+  attempts : attempt list;  (** oldest first; the last one is the verdict *)
+  recovered : bool;  (** a detection occurred and a retry succeeded *)
+  total_cycles : int;  (** includes the wasted aborted launches *)
+}
+
+type checkpoint
+
+val checkpoint : Gpu_sim.Device.t -> Gpu_sim.Device.buffer list -> checkpoint
+val restore : Gpu_sim.Device.t -> checkpoint -> unit
+
+val run_with_recovery :
+  ?max_retries:int ->
+  ?retry_on_crash:bool ->
+  Gpu_sim.Device.t ->
+  buffers:Gpu_sim.Device.buffer list ->
+  launch:(unit -> Gpu_sim.Device.result) ->
+  result
+(** [buffers] must cover every buffer the kernel may read or write;
+    [launch] performs one device launch (any fault injection is the
+    closure's business and should happen at most once). Detections,
+    crashes and hangs are all retried ([retry_on_crash] false limits
+    retry to RMT detections); exhausting [max_retries] (default 3)
+    models a permanent fault. *)

@@ -1,0 +1,50 @@
+(** Experiment runner: execute a benchmark under an RMT variant and
+    collect the measurements the figures need. Multi-pass benchmarks
+    (BitS, FWT, FW) launch once per pass with counters summed and the
+    Inter-Group group-id counter reset between passes. *)
+
+type summary = {
+  bench_id : string;
+  variant : Rmt_core.Transform.variant;
+  cycles : int;
+  counters : Gpu_sim.Counters.t;
+  windows : Gpu_sim.Counters.t array;
+  outcome : Gpu_sim.Device.outcome;
+  verified : bool;  (** device output matched the CPU reference *)
+  occupancy : Gpu_sim.Occupancy.t;
+  usage : Gpu_ir.Regpressure.usage;
+  steps : int;
+  inject_applied : bool;
+  detection_latency : int option;
+      (** flip-to-trap cycles when a fault was injected and detected *)
+}
+
+val outcome_name : Gpu_sim.Device.outcome -> string
+
+val transformed_kernel :
+  ?optimize:bool ->
+  Kernels.Bench.t ->
+  Rmt_core.Transform.variant ->
+  nd:Gpu_sim.Geom.ndrange ->
+  Gpu_ir.Types.kernel
+(** Build and transform the benchmark's kernel; [optimize] additionally
+    runs the {!Gpu_ir.Opt} pipeline (paper Sec. 6.6's register lever). *)
+
+val run :
+  ?cfg:Gpu_sim.Config.t ->
+  ?scale:int ->
+  ?optimize:bool ->
+  ?window_cycles:int ->
+  ?max_cycles:int ->
+  ?usage_override:Gpu_ir.Regpressure.usage ->
+  ?inject:Gpu_sim.Device.inject_plan ->
+  Kernels.Bench.t ->
+  Rmt_core.Transform.variant ->
+  summary
+
+val run_naive_duplication :
+  ?cfg:Gpu_sim.Config.t -> ?scale:int -> Kernels.Bench.t -> summary
+(** The paper's Section 3.4 baseline: launch everything twice; the host
+    checks afterwards. Only timing is modelled. *)
+
+val slowdown : base:summary -> summary -> float

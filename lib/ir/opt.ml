@@ -1,0 +1,495 @@
+(** Kernel optimization passes.
+
+    The paper's Section 6.6 observes that "RMT performance could be
+    improved by more efficient register allocation in the compiler": the
+    RMT rewrites emit straightforward code (fresh registers for every
+    intermediate, repeated ID arithmetic per store site) and leave cleanup
+    to the optimizer, exactly as the production LLVM pipeline the authors
+    modified would. These passes provide that cleanup:
+
+    - {!const_fold} — evaluate instructions whose operands are immediates
+      and propagate the results;
+    - {!copy_propagate} — forward [Mov r, v] sources to uses, exposing
+      more folding and making moves dead;
+    - {!dead_code} — remove side-effect-free instructions whose results
+      are never read;
+    - {!cse} — reuse the result of a previous identical pure instruction
+      within straight-line regions (no redundant recomputation of comm
+      slot addresses per store).
+
+    {!optimize} runs the pipeline to a fixed point. All passes preserve
+    kernel semantics (checked by differential execution in the test
+    suite) and never touch memory operations, barriers, atomics,
+    swizzles or traps. Their measurable effect is a smaller register
+    footprint for the RMT versions — the ablation benchmark
+    [bench ... fig4] shows how much of the "doubled work-group" cost an
+    optimizing backend recovers. *)
+
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate pure instructions over immediate operands, reusing the same
+   arithmetic the simulator executes so folding is semantics-preserving
+   by construction. *)
+
+let imm_of_value = function
+  | Imm n -> Some (F32.norm (Int32.to_int n))
+  | Imm_f32 x -> Some (F32.of_float x)
+  | Reg _ -> None
+
+let value_of_int v = Imm (Int32.of_int v)
+
+(* Shared with the simulator: integer/float semantics on bit patterns.
+   Kept here (rather than importing the simulator) so gpu_ir stays
+   dependency-free; the differential tests pin the two implementations
+   together. *)
+let ibin_eval op a b =
+  let ua = F32.to_u a and ub = F32.to_u b in
+  let open F32 in
+  match op with
+  | Add -> norm (a + b)
+  | Sub -> norm (a - b)
+  | Mul -> norm (a * b)
+  | Div_s -> if b = 0 then 0 else norm (a / b)
+  | Div_u -> if ub = 0 then 0 else norm (ua / ub)
+  | Rem_s -> if b = 0 then 0 else norm (a mod b)
+  | Rem_u -> if ub = 0 then 0 else norm (ua mod ub)
+  | And -> norm (a land b)
+  | Or -> norm (a lor b)
+  | Xor -> norm (a lxor b)
+  | Shl -> norm (a lsl (ub land 31))
+  | Lshr -> norm (ua lsr (ub land 31))
+  | Ashr -> norm (a asr (ub land 31))
+  | Min_s -> min a b
+  | Max_s -> max a b
+  | Min_u -> if ua < ub then a else b
+  | Max_u -> if ua > ub then a else b
+  | Mulhi_u -> norm ((ua * ub) lsr 32)
+
+let fbin_eval op a b =
+  let fa = F32.to_float a and fb = F32.to_float b in
+  F32.of_float
+    (match op with
+    | Fadd -> fa +. fb
+    | Fsub -> fa -. fb
+    | Fmul -> fa *. fb
+    | Fdiv -> fa /. fb
+    | Fmin -> if fa < fb || Float.is_nan fb then fa else fb
+    | Fmax -> if fa > fb || Float.is_nan fb then fa else fb)
+
+let funary_eval op a =
+  let x = F32.to_float a in
+  F32.of_float
+    (match op with
+    | Fneg -> -.x
+    | Fabs -> Float.abs x
+    | Fsqrt -> sqrt x
+    | Frsqrt -> 1.0 /. sqrt x
+    | Frcp -> 1.0 /. x
+    | Fexp -> exp x
+    | Flog -> log x
+    | Fsin -> sin x
+    | Fcos -> cos x
+    | Ffloor -> Float.floor x
+    | Fround -> Float.round x)
+
+let icmp_eval op a b =
+  let ua = F32.to_u a and ub = F32.to_u b in
+  let r =
+    match op with
+    | Ieq -> a = b
+    | Ine -> a <> b
+    | Ilt_s -> a < b
+    | Ile_s -> a <= b
+    | Igt_s -> a > b
+    | Ige_s -> a >= b
+    | Ilt_u -> ua < ub
+    | Ige_u -> ua >= ub
+  in
+  if r then 1 else 0
+
+let fcmp_eval op a b =
+  let fa = F32.to_float a and fb = F32.to_float b in
+  let r =
+    match op with
+    | Feq -> fa = fb
+    | Fne -> fa <> fb
+    | Flt -> fa < fb
+    | Fle -> fa <= fb
+    | Fgt -> fa > fb
+    | Fge -> fa >= fb
+  in
+  if r then 1 else 0
+
+let cvt_eval op a =
+  match op with
+  | S32_to_f32 -> F32.of_float (float_of_int a)
+  | U32_to_f32 -> F32.of_float (float_of_int (F32.to_u a))
+  | F32_to_s32 -> F32.norm (int_of_float (F32.to_float a))
+  | F32_to_u32 ->
+      let x = F32.to_float a in
+      if Float.is_nan x || x <= -1.0 then 0 else F32.norm (int_of_float x)
+  | Bitcast -> a
+
+(* Fold one instruction to a [Mov dst imm] when all operands are known.
+   Also applies algebraic identities with one known operand. *)
+let fold_inst (i : inst) : inst =
+  let both f d a b ev =
+    match (imm_of_value a, imm_of_value b) with
+    | Some x, Some y -> Mov (d, value_of_int (ev x y))
+    | _ -> f
+  in
+  match i with
+  | Iarith (op, d, a, b) -> (
+      match (op, imm_of_value a, imm_of_value b) with
+      | _, Some x, Some y -> Mov (d, value_of_int (ibin_eval op x y))
+      (* identities that the RMT ID rewrites expose frequently *)
+      | Add, Some 0, _ -> Mov (d, b)
+      | Add, _, Some 0 -> Mov (d, a)
+      | Sub, _, Some 0 -> Mov (d, a)
+      | Mul, Some 1, _ -> Mov (d, b)
+      | Mul, _, Some 1 -> Mov (d, a)
+      | Mul, Some 0, _ | Mul, _, Some 0 -> Mov (d, value_of_int 0)
+      | (Shl | Lshr | Ashr), _, Some 0 -> Mov (d, a)
+      | Or, _, Some 0 -> Mov (d, a)
+      | Or, Some 0, _ -> Mov (d, b)
+      | And, _, Some 0 | And, Some 0, _ -> Mov (d, value_of_int 0)
+      | Xor, _, Some 0 -> Mov (d, a)
+      | _ -> i)
+  | Farith (op, d, a, b) -> both i d a b (fbin_eval op)
+  | Icmp (op, d, a, b) -> both i d a b (icmp_eval op)
+  | Fcmp (op, d, a, b) -> both i d a b (fcmp_eval op)
+  | Funary (op, d, a) -> (
+      match imm_of_value a with
+      | Some x -> Mov (d, value_of_int (funary_eval op x))
+      | None -> i)
+  | Cvt (op, d, a) -> (
+      match imm_of_value a with
+      | Some x -> Mov (d, value_of_int (cvt_eval op x))
+      | None -> i)
+  | Mad (d, a, b, c) -> (
+      match (imm_of_value a, imm_of_value b, imm_of_value c) with
+      | Some x, Some y, Some z ->
+          Mov (d, value_of_int (F32.norm ((x * y) + z)))
+      | _, Some 1, Some 0 -> Mov (d, a)
+      | Some 1, _, Some 0 -> Mov (d, b)
+      | Some 0, _, _ | _, Some 0, _ -> Mov (d, c)
+      | _ -> i)
+  | Select (d, c, a, b) -> (
+      match imm_of_value c with
+      | Some 0 -> Mov (d, b)
+      | Some _ -> Mov (d, a)
+      | None -> i)
+  | _ -> i
+
+(** Fold every instruction in the body once. *)
+let const_fold (k : kernel) : kernel =
+  let body =
+    map_stmts (function I i -> I (fold_inst i) | s -> s) k.body
+  in
+  { k with body }
+
+(* ------------------------------------------------------------------ *)
+(* Copy propagation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward [Mov d, src] bindings into later uses within the region where
+   the binding is valid. A binding dies when its destination or (for
+   register sources) its source is redefined. Propagation is performed
+   per straight-line region; entering a branch or loop keeps bindings
+   from outside (they dominate) but bindings created inside a branch are
+   not visible after it. *)
+
+let substitute_value env v =
+  match v with
+  | Reg r -> ( match Hashtbl.find_opt env r with Some v' -> v' | None -> v)
+  | Imm _ | Imm_f32 _ -> v
+
+let substitute_inst env (i : inst) : inst =
+  let s = substitute_value env in
+  match i with
+  | Iarith (op, d, a, b) -> Iarith (op, d, s a, s b)
+  | Farith (op, d, a, b) -> Farith (op, d, s a, s b)
+  | Funary (op, d, a) -> Funary (op, d, s a)
+  | Icmp (op, d, a, b) -> Icmp (op, d, s a, s b)
+  | Fcmp (op, d, a, b) -> Fcmp (op, d, s a, s b)
+  | Select (d, c, a, b) -> Select (d, s c, s a, s b)
+  | Mov (d, a) -> Mov (d, s a)
+  | Cvt (op, d, a) -> Cvt (op, d, s a)
+  | Mad (d, a, b, c) -> Mad (d, s a, s b, s c)
+  | Fma (d, a, b, c) -> Fma (d, s a, s b, s c)
+  | Special _ | Arg _ | Barrier | Fence _ -> i
+  | Load (sp, d, a) -> Load (sp, d, s a)
+  | Store (sp, a, v) -> Store (sp, s a, s v)
+  | Atomic (op, sp, d, a, v) -> Atomic (op, sp, d, s a, s v)
+  | Cas (sp, d, a, e, n) -> Cas (sp, d, s a, s e, s n)
+  | Swizzle (kind, d, a) -> Swizzle (kind, d, s a)
+  | Trap v -> Trap (s v)
+
+(* Collect registers assigned anywhere in a statement list (for
+   invalidating bindings around branches and loops). *)
+let rec defs_of_body acc body =
+  List.iter
+    (fun s ->
+      match s with
+      | I i -> ( match inst_def i with Some d -> Hashtbl.replace acc d () | None -> ())
+      | If (_, t, e) ->
+          defs_of_body acc t;
+          defs_of_body acc e
+      | While (h, _, b) ->
+          defs_of_body acc h;
+          defs_of_body acc b)
+    body
+
+let kill env r =
+  Hashtbl.remove env r;
+  (* any binding whose source is r dies too *)
+  let dead =
+    Hashtbl.fold
+      (fun d v acc -> match v with Reg s when s = r -> d :: acc | _ -> acc)
+      env []
+  in
+  List.iter (Hashtbl.remove env) dead
+
+let copy_propagate (k : kernel) : kernel =
+  let rec walk env body =
+    List.map
+      (fun s ->
+        match s with
+        | I i ->
+            let i = substitute_inst env i in
+            (match inst_def i with Some d -> kill env d | None -> ());
+            (match i with
+            | Mov (d, src) when src <> Reg d -> Hashtbl.replace env d src
+            | _ -> ());
+            I i
+        | If (c, t, e) ->
+            let c = substitute_value env c in
+            (* bindings from outside dominate both arms *)
+            let t' = walk (Hashtbl.copy env) t in
+            let e' = walk (Hashtbl.copy env) e in
+            (* anything either arm may redefine is unknown afterwards *)
+            let killed = Hashtbl.create 16 in
+            defs_of_body killed t;
+            defs_of_body killed e;
+            Hashtbl.iter (fun r () -> kill env r) killed;
+            If (c, t', e')
+        | While (h, c, b) ->
+            (* bindings whose registers the loop redefines are invalid
+               even inside (the back edge); drop them up front *)
+            let killed = Hashtbl.create 16 in
+            defs_of_body killed h;
+            defs_of_body killed b;
+            Hashtbl.iter (fun r () -> kill env r) killed;
+            let h' = walk (Hashtbl.copy env) h in
+            let b' = walk (Hashtbl.copy env) b in
+            While (h', c, b'))
+      body
+  in
+  { k with body = walk (Hashtbl.create 64) k.body }
+
+(* ------------------------------------------------------------------ *)
+(* Dead-code elimination                                               *)
+(* ------------------------------------------------------------------ *)
+
+let inst_has_side_effect (i : inst) =
+  match i with
+  | Store _ | Atomic _ | Cas _ | Barrier | Fence _ | Trap _ -> true
+  | Load _ ->
+      (* loads are pure in this IR's memory model once their result is
+         unused (no faults on speculative loads would be wrong — but we
+         conservatively KEEP loads: a dead load can still fault) *)
+      true
+  | _ -> false
+
+(** Remove pure instructions whose destinations are never read. Iterates
+    because removing one use can kill its producers. *)
+let dead_code (k : kernel) : kernel =
+  let body = ref k.body in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Array.make (max k.nregs 1) false in
+    let mark = function Reg r -> used.(r) <- true | _ -> () in
+    let rec scan stmts =
+      List.iter
+        (fun s ->
+          match s with
+          | I i -> List.iter mark (inst_uses i)
+          | If (c, t, e) ->
+              mark c;
+              scan t;
+              scan e
+          | While (h, c, b) ->
+              mark c;
+              scan h;
+              scan b)
+        stmts
+    in
+    scan !body;
+    let keep (i : inst) =
+      inst_has_side_effect i
+      || match inst_def i with Some d -> used.(d) | None -> true
+    in
+    let body' =
+      concat_map_stmts
+        (fun s ->
+          match s with
+          | I i when not (keep i) ->
+              changed := true;
+              []
+          | If (c, [], []) ->
+              ignore c;
+              changed := true;
+              []
+          | s -> [ s ])
+        !body
+    in
+    body := body'
+  done;
+  { k with body = !body }
+
+(* ------------------------------------------------------------------ *)
+(* Common-subexpression elimination                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Key a pure instruction by its operation and operands; identical keys in
+   the same straight-line region with no intervening redefinition of
+   their operands compute the same value. *)
+
+type cse_key =
+  | K_iarith of ibin * value * value
+  | K_farith of fbin * value * value
+  | K_funary of funary * value
+  | K_icmp of icmp * value * value
+  | K_fcmp of fcmp * value * value
+  | K_select of value * value * value
+  | K_cvt of cvt * value
+  | K_mad of value * value * value
+  | K_fma of value * value * value
+  | K_special of special
+  | K_arg of int
+
+let cse_key (i : inst) : (cse_key * reg) option =
+  match i with
+  | Iarith (op, d, a, b) -> Some (K_iarith (op, a, b), d)
+  | Farith (op, d, a, b) -> Some (K_farith (op, a, b), d)
+  | Funary (op, d, a) -> Some (K_funary (op, a), d)
+  | Icmp (op, d, a, b) -> Some (K_icmp (op, a, b), d)
+  | Fcmp (op, d, a, b) -> Some (K_fcmp (op, a, b), d)
+  | Select (d, c, a, b) -> Some (K_select (c, a, b), d)
+  | Cvt (op, d, a) -> Some (K_cvt (op, a), d)
+  | Mad (d, a, b, c) -> Some (K_mad (a, b, c), d)
+  | Fma (d, a, b, c) -> Some (K_fma (a, b, c), d)
+  | Special (s, d) -> (
+      match s with
+      (* ID queries are genuinely idempotent *)
+      | Global_id _ | Local_id _ | Group_id _ | Global_size _ | Local_size _
+      | Num_groups _ | Lds_base _ ->
+          Some (K_special s, d))
+  | Arg (d, n) -> Some (K_arg n, d)
+  | Mov _ | Load _ | Store _ | Atomic _ | Cas _ | Barrier | Fence _
+  | Swizzle _ | Trap _ ->
+      None
+
+let key_uses = function
+  | K_iarith (_, a, b) | K_farith (_, a, b) | K_icmp (_, a, b)
+  | K_fcmp (_, a, b) ->
+      [ a; b ]
+  | K_funary (_, a) | K_cvt (_, a) -> [ a ]
+  | K_select (a, b, c) | K_mad (a, b, c) | K_fma (a, b, c) -> [ a; b; c ]
+  | K_special _ | K_arg _ -> []
+
+let cse (k : kernel) : kernel =
+  let rec walk env body =
+    List.map
+      (fun s ->
+        match s with
+        | I i -> (
+            let invalidate d =
+              (* drop table entries whose key reads, or whose value is, d *)
+              let dead =
+                Hashtbl.fold
+                  (fun key v acc ->
+                    if
+                      v = d
+                      || List.exists (fun u -> u = Reg d) (key_uses key)
+                    then key :: acc
+                    else acc)
+                  env []
+              in
+              List.iter (Hashtbl.remove env) dead
+            in
+            match cse_key i with
+            | Some (key, d) -> (
+                match Hashtbl.find_opt env key with
+                | Some prev when prev <> d ->
+                    invalidate d;
+                    I (Mov (d, Reg prev))
+                | _ ->
+                    invalidate d;
+                    Hashtbl.replace env key d;
+                    I i)
+            | None ->
+                (match inst_def i with Some d -> invalidate d | None -> ());
+                I i)
+        | If (c, t, e) ->
+            let t' = walk (Hashtbl.copy env) t in
+            let e' = walk (Hashtbl.copy env) e in
+            let killed = Hashtbl.create 16 in
+            defs_of_body killed t;
+            defs_of_body killed e;
+            Hashtbl.iter
+              (fun r () ->
+                let dead =
+                  Hashtbl.fold
+                    (fun key v acc ->
+                      if v = r || List.exists (fun u -> u = Reg r) (key_uses key)
+                      then key :: acc
+                      else acc)
+                    env []
+                in
+                List.iter (Hashtbl.remove env) dead)
+              killed;
+            If (c, t', e')
+        | While (h, c, b) ->
+            let killed = Hashtbl.create 16 in
+            defs_of_body killed h;
+            defs_of_body killed b;
+            Hashtbl.iter
+              (fun r () ->
+                let dead =
+                  Hashtbl.fold
+                    (fun key v acc ->
+                      if v = r || List.exists (fun u -> u = Reg r) (key_uses key)
+                      then key :: acc
+                      else acc)
+                    env []
+                in
+                List.iter (Hashtbl.remove env) dead)
+              killed;
+            let h' = walk (Hashtbl.copy env) h in
+            let b' = walk (Hashtbl.copy env) b in
+            While (h', c, b'))
+      body
+  in
+  { k with body = walk (Hashtbl.create 64) k.body }
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pass_once k = dead_code (cse (const_fold (copy_propagate k)))
+
+(** Run the optimization pipeline to a fixed point (bounded). *)
+let optimize ?(max_rounds = 8) (k : kernel) : kernel =
+  let rec go n k =
+    if n >= max_rounds then k
+    else
+      let k' = pass_once k in
+      if k'.body = k.body then k' else go (n + 1) k'
+  in
+  go 0 k

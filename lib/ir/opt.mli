@@ -1,0 +1,22 @@
+(** Kernel optimization passes (constant folding, copy propagation,
+    dead-code elimination, common-subexpression elimination).
+
+    The RMT rewrites emit straightforward code and leave cleanup to the
+    optimizer, as the production LLVM pipeline the paper modified would;
+    the paper's Section 6.6 explicitly points at better register
+    allocation as an RMT lever. All passes preserve semantics (checked
+    by differential execution in the test suite) and never touch memory
+    operations, barriers, atomics, swizzles or traps. *)
+
+val fold_inst : Types.inst -> Types.inst
+(** Fold one instruction when its operands are immediates, including
+    algebraic identities ([x+0], [x*1], [select] on constants, ...). *)
+
+val const_fold : Types.kernel -> Types.kernel
+val copy_propagate : Types.kernel -> Types.kernel
+val dead_code : Types.kernel -> Types.kernel
+val cse : Types.kernel -> Types.kernel
+
+val optimize : ?max_rounds:int -> Types.kernel -> Types.kernel
+(** Run the pipeline to a fixed point (bounded by [max_rounds],
+    default 8). *)

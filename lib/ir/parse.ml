@@ -1,0 +1,370 @@
+(** Text parser for the kernel IR, accepting exactly the listing format
+    produced by {!Pp.kernel_to_string}, so kernels round-trip through
+    text: [parse (Pp.kernel_to_string k) = k] up to register-count
+    tightening. This makes kernels writable and reviewable as plain
+    files (see [examples/kernels/]) without the OCaml builder, and
+    [rmtgpu dump] output re-loadable.
+
+    Grammar (one construct per line, [#] starts a comment):
+    {v
+    kernel NAME
+      param N: global buffer NAME    |  param N: scalar NAME
+      lds NAME: N bytes
+    {
+      rD = OP ...                 # instructions, as printed by Pp
+      store.SPACE [ADDR], V
+      if rC {  ...  } else {  ...  }
+      loop {  HEADER...  break unless rC  BODY...  }
+      barrier / fence.SPACE / trap V
+    }
+    v} *)
+
+open Types
+
+exception Parse_error of int * string
+(** line number (1-based) and message *)
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tokenize (s : string) : string list =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\r' -> flush ()
+      | ',' | '(' | ')' | '[' | ']' | '{' | '}' | ':' ->
+          flush ();
+          out := String.make 1 c :: !out
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* ------------------------------------------------------------------ *)
+(* Leaf parsers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_reg ln tok =
+  let bad () = fail ln "expected register, got %s" tok in
+  if String.length tok >= 2 && tok.[0] = 'r' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some r when r >= 0 -> r
+    | _ -> bad ()
+  else bad ()
+
+let is_reg tok =
+  String.length tok >= 2
+  && tok.[0] = 'r'
+  && int_of_string_opt (String.sub tok 1 (String.length tok - 1)) <> None
+
+let parse_value ln tok =
+  if is_reg tok then Reg (parse_reg ln tok)
+  else if String.length tok > 1 && tok.[String.length tok - 1] = 'f' then
+    match float_of_string_opt (String.sub tok 0 (String.length tok - 1)) with
+    | Some x -> Imm_f32 x
+    | None -> fail ln "bad float immediate %s" tok
+  else
+    match Int32.of_string_opt tok with
+    | Some n -> Imm n
+    | None -> (
+        match float_of_string_opt tok with
+        | Some x -> Imm_f32 x
+        | None -> fail ln "bad immediate %s" tok)
+
+let ibin_of_string = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "div_s" -> Some Div_s | "div_u" -> Some Div_u
+  | "rem_s" -> Some Rem_s | "rem_u" -> Some Rem_u
+  | "and" -> Some And | "or" -> Some Or | "xor" -> Some Xor
+  | "shl" -> Some Shl | "lshr" -> Some Lshr | "ashr" -> Some Ashr
+  | "min_s" -> Some Min_s | "max_s" -> Some Max_s
+  | "min_u" -> Some Min_u | "max_u" -> Some Max_u
+  | "mulhi_u" -> Some Mulhi_u
+  | _ -> None
+
+let fbin_of_string = function
+  | "fadd" -> Some Fadd | "fsub" -> Some Fsub | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv | "fmin" -> Some Fmin | "fmax" -> Some Fmax
+  | _ -> None
+
+let funary_of_string = function
+  | "fneg" -> Some Fneg | "fabs" -> Some Fabs | "fsqrt" -> Some Fsqrt
+  | "frsqrt" -> Some Frsqrt | "frcp" -> Some Frcp | "fexp" -> Some Fexp
+  | "flog" -> Some Flog | "fsin" -> Some Fsin | "fcos" -> Some Fcos
+  | "ffloor" -> Some Ffloor | "fround" -> Some Fround
+  | _ -> None
+
+let icmp_of_string = function
+  | "eq" -> Some Ieq | "ne" -> Some Ine | "lt_s" -> Some Ilt_s
+  | "le_s" -> Some Ile_s | "gt_s" -> Some Igt_s | "ge_s" -> Some Ige_s
+  | "lt_u" -> Some Ilt_u | "ge_u" -> Some Ige_u
+  | _ -> None
+
+let fcmp_of_string = function
+  | "feq" -> Some Feq | "fne" -> Some Fne | "flt" -> Some Flt
+  | "fle" -> Some Fle | "fgt" -> Some Fgt | "fge" -> Some Fge
+  | _ -> None
+
+let cvt_of_string = function
+  | "s32_to_f32" -> Some S32_to_f32 | "u32_to_f32" -> Some U32_to_f32
+  | "f32_to_s32" -> Some F32_to_s32 | "f32_to_u32" -> Some F32_to_u32
+  | "bitcast" -> Some Bitcast
+  | _ -> None
+
+let space_of_string ln = function
+  | "global" -> Global
+  | "local" -> Local
+  | s -> fail ln "unknown address space %s" s
+
+let atomic_of_string = function
+  | "add" -> Some A_add | "sub" -> Some A_sub | "xchg" -> Some A_xchg
+  | "max_u" -> Some A_max_u | "min_u" -> Some A_min_u
+  | _ -> None
+
+let dim_of ln s =
+  match int_of_string_opt s with
+  | Some d when d >= 0 && d <= 2 -> d
+  | _ -> fail ln "bad dimension %s" s
+
+let split_dot s =
+  match String.index_opt s '.' with
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+let parse_special ln name args : special option =
+  match (name, args) with
+  | "global_id", [ d ] -> Some (Global_id (dim_of ln d))
+  | "local_id", [ d ] -> Some (Local_id (dim_of ln d))
+  | "group_id", [ d ] -> Some (Group_id (dim_of ln d))
+  | "global_size", [ d ] -> Some (Global_size (dim_of ln d))
+  | "local_size", [ d ] -> Some (Local_size (dim_of ln d))
+  | "num_groups", [ d ] -> Some (Num_groups (dim_of ln d))
+  | "lds_base", [ n ] -> Some (Lds_base n)
+  | _ -> None
+
+let parse_swizzle ln name args : swizzle =
+  match (name, args) with
+  | "dup_even", [] -> Dup_even
+  | "dup_odd", [] -> Dup_odd
+  | "xor_mask", [ m ] -> (
+      match int_of_string_opt m with
+      | Some m when m >= 0 && m <= 63 -> Xor_mask m
+      | _ -> fail ln "bad swizzle mask %s" m)
+  | "bcast", [ l ] -> (
+      match int_of_string_opt l with
+      | Some l when l >= 0 && l <= 63 -> Bcast l
+      | _ -> fail ln "bad broadcast lane %s" l)
+  | _ -> fail ln "unknown swizzle %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* right-hand side after "rD =" *)
+let parse_rhs ln d (toks : string list) : inst =
+  let v = parse_value ln in
+  match toks with
+  | [ "mov"; x ] -> Mov (d, v x)
+  | [ op; a; ","; b ] when ibin_of_string op <> None ->
+      Iarith (Option.get (ibin_of_string op), d, v a, v b)
+  | [ op; a; ","; b ] when fbin_of_string op <> None ->
+      Farith (Option.get (fbin_of_string op), d, v a, v b)
+  | [ op; a ] when funary_of_string op <> None ->
+      Funary (Option.get (funary_of_string op), d, v a)
+  | [ op; a ] when cvt_of_string op <> None ->
+      Cvt (Option.get (cvt_of_string op), d, v a)
+  | [ "select"; c; "?"; a; ":"; b ] -> Select (d, v c, v a, v b)
+  | [ "mad"; a; ","; b; ","; c ] -> Mad (d, v a, v b, v c)
+  | [ "fma"; a; ","; b; ","; c ] -> Fma (d, v a, v b, v c)
+  | [ "arg"; "("; n; ")" ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Arg (d, n)
+      | _ -> fail ln "bad argument index %s" n)
+  | [ name; "("; a; ")" ] when parse_special ln name [ a ] <> None ->
+      Special (Option.get (parse_special ln name [ a ]), d)
+  | [ op; "["; a; "]" ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some ("load", sp) -> Load (space_of_string ln sp, d, v a)
+      | _ -> fail ln "bad memory op %s" op)
+  | [ op; "["; a; "]"; ","; x ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some (aop, sp)
+        when String.length aop > 7 && String.sub aop 0 7 = "atomic_" -> (
+          let kind = String.sub aop 7 (String.length aop - 7) in
+          match atomic_of_string kind with
+          | Some k -> Atomic (k, space_of_string ln sp, d, v a, v x)
+          | None -> fail ln "unknown atomic %s" kind)
+      | _ -> fail ln "bad memory op %s" op)
+  | [ op; "["; a; "]"; ","; e; ","; n ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some ("cas", sp) -> Cas (space_of_string ln sp, d, v a, v e, v n)
+      | _ -> fail ln "bad memory op %s" op)
+  | [ op; x ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some ("icmp", cmp) ->
+          fail ln "icmp needs two operands (got %s %s)" cmp x
+      | Some ("swizzle", kind) -> Swizzle (parse_swizzle ln kind [], d, v x)
+      | _ -> fail ln "unknown op %s" op)
+  | [ op; a; ","; b ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some ("icmp", cmp) -> (
+          match icmp_of_string cmp with
+          | Some c -> Icmp (c, d, v a, v b)
+          | None -> fail ln "unknown comparison %s" cmp)
+      | Some ("fcmp", cmp) -> (
+          match fcmp_of_string cmp with
+          | Some c -> Fcmp (c, d, v a, v b)
+          | None -> fail ln "unknown comparison %s" cmp)
+      | _ -> fail ln "unknown op %s" op)
+  | [ op; "("; m; ")"; x ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some ("swizzle", kind) ->
+          Swizzle (parse_swizzle ln kind [ m ], d, v x)
+      | _ -> fail ln "unknown op %s" op)
+  | _ -> fail ln "cannot parse instruction: %s" (String.concat " " toks)
+
+let parse_inst_line ln (toks : string list) : inst =
+  match toks with
+  | [ "barrier" ] -> Barrier
+  | [ "trap"; x ] -> Trap (parse_value ln x)
+  | [ op ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some ("fence", sp) -> Fence (space_of_string ln sp)
+      | _ -> fail ln "bad instruction %s" op)
+  | op :: "[" :: a :: "]" :: "," :: [ x ] when split_dot op <> None -> (
+      match split_dot op with
+      | Some ("store", sp) ->
+          Store (space_of_string ln sp, parse_value ln a, parse_value ln x)
+      | _ -> fail ln "bad instruction %s" op)
+  | d :: "=" :: rhs when is_reg d -> parse_rhs ln (parse_reg ln d) rhs
+  | _ -> fail ln "cannot parse line: %s" (String.concat " " toks)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type line = { num : int; toks : string list }
+
+(* parse a block body until a line beginning with "}"; returns the
+   statements and the closing line *)
+let rec parse_block (lines : line list) : stmt list * line * line list =
+  let rec go acc = function
+    | [] -> failwith "unterminated block"
+    | ({ toks = "}" :: _; _ } as closing) :: rest -> (List.rev acc, closing, rest)
+    | { num; toks = [ "if"; c; "{" ] } :: rest ->
+        let c = parse_value num c in
+        let then_, closing, rest = parse_block rest in
+        let else_, rest =
+          match closing.toks with
+          | [ "}"; "else"; "{" ] ->
+              let else_, closing2, rest = parse_block rest in
+              (match closing2.toks with
+              | [ "}" ] -> ()
+              | _ -> fail closing2.num "expected } after else block");
+              (else_, rest)
+          | [ "}" ] -> ([], rest)
+          | _ -> fail closing.num "expected } or } else {"
+        in
+        go (If (c, then_, else_) :: acc) rest
+    | { num; toks = [ "loop"; "{" ] } :: rest ->
+        (* header lines until "break unless rC", then body until "}" *)
+        let rec header acc_h = function
+          | [] -> fail num "unterminated loop"
+          | { num = n2; toks = [ "break"; "unless"; c ] } :: rest2 ->
+              (List.rev acc_h, parse_value n2 c, rest2)
+          | l :: rest2 -> (
+              match l.toks with
+              | [ "if"; _; "{" ] | [ "loop"; "{" ] ->
+                  (* the printed format cannot distinguish where a nested
+                     block inside a header ends and the condition line
+                     begins without lookahead; keep headers straight-line *)
+                  fail l.num
+                    "nested control flow in a loop header is not supported \
+                     by the text format"
+              | _ -> header (I (parse_inst_line l.num l.toks) :: acc_h) rest2)
+        in
+        let h, c, rest = header [] rest in
+        let body, closing, rest = parse_block rest in
+        (match closing.toks with
+        | [ "}" ] -> ()
+        | _ -> fail closing.num "expected } to close loop");
+        go (While (h, c, body) :: acc) rest
+    | { num; toks } :: rest -> go (I (parse_inst_line num toks) :: acc) rest
+  in
+  go [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Kernel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let max_reg_in_body body =
+  let m = ref (-1) in
+  let touch = function Reg r -> m := max !m r | _ -> () in
+  iter_inst
+    (fun i ->
+      List.iter touch (inst_uses i);
+      match inst_def i with Some d -> m := max !m d | None -> ())
+    body;
+  !m
+
+(** Parse a kernel listing. Raises {!Parse_error}. *)
+let kernel_of_string (src : string) : kernel =
+  let raw = String.split_on_char '\n' src in
+  let lines =
+    List.filteri (fun _ _ -> true) raw
+    |> List.mapi (fun i l -> { num = i + 1; toks = tokenize (strip_comment l) })
+    |> List.filter (fun l -> l.toks <> [])
+  in
+  match lines with
+  | { num; toks = [ "kernel"; name ] } :: rest ->
+      ignore num;
+      (* header: params and lds declarations until "{" *)
+      let rec header params lds = function
+        | { toks = [ "{" ]; _ } :: rest -> (List.rev params, List.rev lds, rest)
+        | { num; toks = "param" :: _ :: ":" :: spec } :: rest -> (
+            match spec with
+            | [ "global"; "buffer"; n ] ->
+                header (Param_buffer n :: params) lds rest
+            | [ "scalar"; n ] -> header (Param_scalar n :: params) lds rest
+            | _ -> fail num "bad param declaration")
+        | { num; toks = [ "lds"; n; ":"; sz; "bytes" ] } :: rest -> (
+            match int_of_string_opt sz with
+            | Some sz -> header params ((n, sz) :: lds) rest
+            | None -> fail num "bad lds size %s" sz)
+        | { num; _ } :: _ -> fail num "expected param, lds or {"
+        | [] -> failwith "missing kernel body"
+      in
+      let params, lds_allocs, rest = header [] [] rest in
+      let body, closing, trailing = parse_block rest in
+      (match closing.toks with
+      | [ "}" ] -> ()
+      | _ -> fail closing.num "expected final }");
+      (match trailing with
+      | [] -> ()
+      | l :: _ -> fail l.num "unexpected content after kernel");
+      { kname = name; params; lds_allocs; body; nregs = max_reg_in_body body + 1 }
+  | { num; _ } :: _ -> fail num "expected 'kernel NAME'"
+  | [] -> failwith "empty input"
+
+(** Parse and verify. *)
+let kernel_of_string_checked src =
+  let k = kernel_of_string src in
+  Verify.check k;
+  k

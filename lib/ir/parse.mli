@@ -1,0 +1,13 @@
+(** Text parser for the kernel IR, accepting exactly the listing format
+    produced by {!Pp.kernel_to_string} (plus [#] comments), so kernels
+    round-trip through text and can be written as plain files. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val kernel_of_string : string -> Types.kernel
+(** Parse a kernel listing.
+    @raise Parse_error on malformed input. *)
+
+val kernel_of_string_checked : string -> Types.kernel
+(** {!kernel_of_string} followed by {!Verify.check}. *)

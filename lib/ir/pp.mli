@@ -1,0 +1,10 @@
+(** Pretty-printer for the IR, producing the textual listing format that
+    {!Parse} reads back (print/parse round-trip). *)
+
+val string_of_inst : Types.inst -> string
+val string_of_value : Types.value -> string
+val string_of_space : Types.space -> string
+val string_of_special : Types.special -> string
+
+val kernel_to_string : Types.kernel -> string
+(** Render a kernel as a multi-line listing. *)

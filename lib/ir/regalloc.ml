@@ -1,0 +1,211 @@
+(** Linear-scan register allocation.
+
+    {!Regpressure} estimates how many physical registers a kernel needs;
+    this module produces an actual assignment — a mapping from virtual
+    registers to physical VGPR/SGPR indices — with the classic
+    linear-scan algorithm over the same live intervals. It exists for
+    two reasons:
+
+    - it validates the pressure estimate from below: the allocation's
+      high-water mark can never beat the max-live bound, and the test
+      suite checks the two agree;
+    - [rmtgpu dump] can show the physical-register view of a transformed
+      kernel, making the RMT register cost concrete per instruction.
+
+    Spilling is out of scope (the virtual register space is the
+    allocator's input, and GCN kernels that would spill instead lower
+    occupancy); allocation simply uses as many physical registers as the
+    interval packing needs. *)
+
+open Types
+
+type interval = {
+  i_reg : reg;
+  i_start : int;
+  i_end : int;
+  i_divergent : bool;
+}
+
+type assignment = {
+  phys : int array;      (** virtual -> physical index within its file *)
+  vgprs_used : int;      (** high-water mark of the vector file *)
+  sgprs_used : int;      (** high-water mark of the scalar file *)
+  intervals : interval list;  (** sorted by start *)
+}
+
+(* Live intervals, mirroring Regpressure's walk (positions in preorder,
+   uses extended across enclosing loops). *)
+let intervals_of (k : kernel) : interval list =
+  let n = max k.nregs 1 in
+  let def_pos = Array.make n max_int in
+  let last_use = Array.make n (-1) in
+  let loops = ref [] in
+  let pos = ref 0 in
+  let next () =
+    incr pos;
+    !pos
+  in
+  let touch_use p = function
+    | Reg r -> last_use.(r) <- max last_use.(r) p
+    | Imm _ | Imm_f32 _ -> ()
+  in
+  let rec walk body =
+    List.iter
+      (fun s ->
+        match s with
+        | I i ->
+            let p = next () in
+            List.iter (touch_use p) (inst_uses i);
+            (match inst_def i with
+            | Some d ->
+                def_pos.(d) <- min def_pos.(d) p;
+                last_use.(d) <- max last_use.(d) p
+            | None -> ())
+        | If (c, t, e) ->
+            let p = next () in
+            touch_use p c;
+            walk t;
+            walk e
+        | While (h, c, b) ->
+            let start = next () in
+            walk h;
+            touch_use !pos c;
+            walk b;
+            let stop = next () in
+            loops := (start, stop) :: !loops)
+      body
+  in
+  walk k.body;
+  List.iter
+    (fun (s, e) ->
+      Array.iteri
+        (fun r u -> if def_pos.(r) < s && u >= s && u <= e then last_use.(r) <- e)
+        last_use)
+    !loops;
+  let div = Uniformity.analyze k in
+  let acc = ref [] in
+  Array.iteri
+    (fun r d ->
+      if d < max_int && last_use.(r) >= 0 then
+        acc :=
+          { i_reg = r; i_start = d; i_end = last_use.(r); i_divergent = div.(r) }
+          :: !acc)
+    def_pos;
+  List.sort (fun a b -> compare a.i_start b.i_start) !acc
+
+(* Classic linear scan over one register file: assign the lowest free
+   physical index; expire intervals that ended before the current start. *)
+let scan_file intervals =
+  let phys = Hashtbl.create 64 in
+  let free = ref [] in
+  let next_fresh = ref 0 in
+  let active = ref [] in  (* (end, physical) sorted by end *)
+  let high_water = ref 0 in
+  List.iter
+    (fun iv ->
+      let still, expired =
+        List.partition (fun (e, _) -> e >= iv.i_start) !active
+      in
+      List.iter (fun (_, p) -> free := p :: !free) expired;
+      free := List.sort compare !free;
+      active := still;
+      let p =
+        match !free with
+        | p :: rest ->
+            free := rest;
+            p
+        | [] ->
+            let p = !next_fresh in
+            incr next_fresh;
+            p
+      in
+      high_water := max !high_water (p + 1);
+      Hashtbl.replace phys iv.i_reg p;
+      active := (iv.i_end, p) :: !active)
+    intervals;
+  (phys, !high_water)
+
+(** Allocate physical registers for [k]: divergent virtuals go to the
+    vector file, uniform ones to the scalar file. *)
+let allocate (k : kernel) : assignment =
+  let ivs = intervals_of k in
+  let vec = List.filter (fun iv -> iv.i_divergent) ivs in
+  let sca = List.filter (fun iv -> not iv.i_divergent) ivs in
+  let vphys, vhw = scan_file vec in
+  let sphys, shw = scan_file sca in
+  let phys = Array.make (max k.nregs 1) (-1) in
+  Hashtbl.iter (fun r p -> phys.(r) <- p) vphys;
+  Hashtbl.iter (fun r p -> phys.(r) <- p) sphys;
+  { phys; vgprs_used = vhw; sgprs_used = shw; intervals = ivs }
+
+(** Render an instruction listing annotated with physical registers,
+    e.g. [r12:v3] for virtual 12 in VGPR 3 (s = scalar file). *)
+let annotate (k : kernel) : string =
+  let a = allocate k in
+  let div = Uniformity.analyze k in
+  let name r =
+    if a.phys.(r) < 0 then Printf.sprintf "r%d:?" r
+    else
+      Printf.sprintf "r%d:%s%d" r (if div.(r) then "v" else "s") a.phys.(r)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d VGPRs, %d SGPRs after linear scan\n" k.kname
+       a.vgprs_used a.sgprs_used);
+  let rec pp indent body =
+    let pad = String.make indent ' ' in
+    List.iter
+      (fun s ->
+        match s with
+        | I i ->
+            let txt = Pp.string_of_inst i in
+            (* substitute operand names: cheap textual pass over rN *)
+            let out = Buffer.create 64 in
+            let n = String.length txt in
+            let idx = ref 0 in
+            while !idx < n do
+              let c = txt.[!idx] in
+              if
+                c = 'r'
+                && !idx + 1 < n
+                && txt.[!idx + 1] >= '0'
+                && txt.[!idx + 1] <= '9'
+                && (!idx = 0
+                   || not
+                        ((txt.[!idx - 1] >= 'a' && txt.[!idx - 1] <= 'z')
+                        || (txt.[!idx - 1] >= '0' && txt.[!idx - 1] <= '9')))
+              then begin
+                let j = ref (!idx + 1) in
+                while !j < n && txt.[!j] >= '0' && txt.[!j] <= '9' do
+                  incr j
+                done;
+                let r = int_of_string (String.sub txt (!idx + 1) (!j - !idx - 1)) in
+                Buffer.add_string out (name r);
+                idx := !j
+              end
+              else begin
+                Buffer.add_char out c;
+                incr idx
+              end
+            done;
+            Buffer.add_string buf (pad ^ Buffer.contents out ^ "\n")
+        | If (c, t, e) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%sif %s {\n" pad (Pp.string_of_value c));
+            pp (indent + 2) t;
+            if e <> [] then begin
+              Buffer.add_string buf (pad ^ "} else {\n");
+              pp (indent + 2) e
+            end;
+            Buffer.add_string buf (pad ^ "}\n")
+        | While (h, c, b) ->
+            Buffer.add_string buf (pad ^ "loop {\n");
+            pp (indent + 2) h;
+            Buffer.add_string buf
+              (Printf.sprintf "%s  break unless %s\n" pad (Pp.string_of_value c));
+            pp (indent + 2) b;
+            Buffer.add_string buf (pad ^ "}\n"))
+      body
+  in
+  pp 2 k.body;
+  Buffer.contents buf

@@ -1,0 +1,130 @@
+(** Register-pressure estimation.
+
+    The RMT paper's scheduling-overhead analysis hinges on how many VGPRs
+    and how much LDS a kernel version needs: doubling work-group size and
+    adding communication code "may require the compiler to allocate even
+    more registers than the original kernel, which can cause a further
+    decrease in the number of work-groups that can be scheduled"
+    (Section 6.4). We therefore estimate physical register requirements
+    with a live-interval analysis over the structured body:
+
+    - every statement gets a preorder position;
+    - a register's interval spans its first definition to its last use,
+      extended to the end of any loop the value is live across;
+    - the maximum number of simultaneously live divergent registers is the
+      VGPR estimate; uniform registers count toward SGPRs (the compiler
+      would place them in the scalar file);
+    - small architectural reserves are added, mirroring the VGPRs/SGPRs a
+      real compiler sets aside for IDs and descriptors. *)
+
+open Types
+
+(** Architectural reserve added to each estimate. *)
+let vgpr_reserve = 4
+
+let sgpr_reserve = 16
+
+(** Allocator slack: the live-interval maximum is the theoretical minimum;
+    a real backend keeps loop invariants, address temporaries and
+    scheduling copies in registers. The 2.2x factor calibrates our small
+    scaled kernels into the 20–60 VGPR range reported for compiled OpenCL
+    kernels of this suite, where occupancy responds to RMT's extra
+    registers exactly as in the paper's Section 6.4 analysis. *)
+let vgpr_slack max_live = ((max_live * 11) + 4) / 5
+
+type usage = {
+  vgprs : int;  (** per-work-item vector registers *)
+  sgprs : int;  (** per-wavefront scalar registers *)
+  lds : int;    (** bytes of LDS per work-group *)
+}
+
+let pp_usage u = Printf.sprintf "vgpr=%d sgpr=%d lds=%dB" u.vgprs u.sgprs u.lds
+
+type interval = { mutable def_pos : int; mutable last_use : int }
+
+let analyze (k : kernel) : usage =
+  let n = max k.nregs 1 in
+  let intervals = Array.init n (fun _ -> { def_pos = max_int; last_use = -1 }) in
+  let loops = ref [] in
+  let pos = ref 0 in
+  let next_pos () =
+    incr pos;
+    !pos
+  in
+  let touch_use p = function
+    | Reg r -> intervals.(r).last_use <- max intervals.(r).last_use p
+    | Imm _ | Imm_f32 _ -> ()
+  in
+  let touch_def p r =
+    intervals.(r).def_pos <- min intervals.(r).def_pos p;
+    intervals.(r).last_use <- max intervals.(r).last_use p
+  in
+  let rec walk body =
+    List.iter
+      (fun s ->
+        match s with
+        | I i ->
+            let p = next_pos () in
+            List.iter (touch_use p) (inst_uses i);
+            (match inst_def i with Some d -> touch_def p d | None -> ())
+        | If (c, t, e) ->
+            let p = next_pos () in
+            touch_use p c;
+            walk t;
+            walk e
+        | While (h, c, b) ->
+            let start = next_pos () in
+            walk h;
+            touch_use !pos c;
+            walk b;
+            let stop = next_pos () in
+            loops := (start, stop) :: !loops)
+      body
+  in
+  walk k.body;
+  (* Extend intervals across loops: a value defined before a loop and used
+     inside it stays live for the whole loop (the back edge may read it in
+     a later iteration). *)
+  List.iter
+    (fun (s, e) ->
+      Array.iter
+        (fun iv ->
+          if iv.def_pos < s && iv.last_use >= s && iv.last_use <= e then
+            iv.last_use <- e)
+        intervals)
+    !loops;
+  let div = Uniformity.analyze k in
+  (* Sweep: +1 at def, -1 after last use, tracking the maxima separately
+     for divergent and uniform registers. *)
+  let events = ref [] in
+  Array.iteri
+    (fun r iv ->
+      if iv.last_use >= 0 && iv.def_pos < max_int then begin
+        events := (iv.def_pos, 1, div.(r)) :: !events;
+        events := (iv.last_use + 1, -1, div.(r)) :: !events
+      end)
+    intervals;
+  let sorted =
+    List.sort
+      (fun (p1, d1, _) (p2, d2, _) ->
+        if p1 <> p2 then compare p1 p2 else compare d1 d2)
+      !events
+  in
+  let cur_v = ref 0 and max_v = ref 0 in
+  let cur_s = ref 0 and max_s = ref 0 in
+  List.iter
+    (fun (_, delta, is_div) ->
+      if is_div then begin
+        cur_v := !cur_v + delta;
+        if !cur_v > !max_v then max_v := !cur_v
+      end
+      else begin
+        cur_s := !cur_s + delta;
+        if !cur_s > !max_s then max_s := !cur_s
+      end)
+    sorted;
+  {
+    vgprs = vgpr_slack !max_v + vgpr_reserve;
+    sgprs = !max_s + sgpr_reserve;
+    lds = lds_bytes k;
+  }

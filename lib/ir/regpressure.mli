@@ -1,0 +1,24 @@
+(** Register-pressure estimation.
+
+    Live-interval analysis over the structured body, yielding the
+    VGPR/SGPR demand that drives occupancy — the mechanism behind the
+    paper's "costs of doubling the size of work-groups" analysis
+    (Sections 6.4/7.4): RMT's extra registers and LDS reduce the number
+    of schedulable work-groups. Divergent registers count toward VGPRs,
+    uniform ones toward SGPRs; an allocator-slack factor calibrates the
+    theoretical minimum into the range real compilers produce. *)
+
+type usage = {
+  vgprs : int;  (** per-work-item vector registers *)
+  sgprs : int;  (** per-wavefront scalar registers *)
+  lds : int;    (** bytes of LDS per work-group *)
+}
+
+val vgpr_reserve : int
+val sgpr_reserve : int
+
+val vgpr_slack : int -> int
+(** Allocator-slack adjustment applied to the live-interval maximum. *)
+
+val analyze : Types.kernel -> usage
+val pp_usage : usage -> string

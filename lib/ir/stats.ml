@@ -1,0 +1,92 @@
+(** Static instruction statistics for a kernel: how many instructions of
+    each class the body contains, and how many would scalarize onto the
+    scalar unit. Used for reporting, for sanity tests on the transforms
+    (e.g. Intra-Group−LDS must add comparisons for local stores), and by
+    the documentation generator. *)
+
+open Types
+
+type t = {
+  total : int;
+  valu : int;        (** vector ALU (divergent arithmetic) *)
+  salu : int;        (** scalarizable arithmetic *)
+  global_loads : int;
+  global_stores : int;
+  local_loads : int;
+  local_stores : int;
+  atomics : int;
+  barriers : int;
+  swizzles : int;
+  traps : int;
+  branches : int;    (** structured control statements *)
+  loops : int;
+}
+
+let zero =
+  {
+    total = 0;
+    valu = 0;
+    salu = 0;
+    global_loads = 0;
+    global_stores = 0;
+    local_loads = 0;
+    local_stores = 0;
+    atomics = 0;
+    barriers = 0;
+    swizzles = 0;
+    traps = 0;
+    branches = 0;
+    loops = 0;
+  }
+
+let collect (k : kernel) : t =
+  let div = Uniformity.analyze k in
+  let s = ref zero in
+  let bump f = s := f !s in
+  let rec walk body =
+    List.iter
+      (fun st ->
+        match st with
+        | I i ->
+            bump (fun s -> { s with total = s.total + 1 });
+            begin
+              match i with
+              | Load (Global, _, _) ->
+                  bump (fun s -> { s with global_loads = s.global_loads + 1 })
+              | Load (Local, _, _) ->
+                  bump (fun s -> { s with local_loads = s.local_loads + 1 })
+              | Store (Global, _, _) ->
+                  bump (fun s -> { s with global_stores = s.global_stores + 1 })
+              | Store (Local, _, _) ->
+                  bump (fun s -> { s with local_stores = s.local_stores + 1 })
+              | Atomic _ | Cas _ ->
+                  bump (fun s -> { s with atomics = s.atomics + 1 })
+              | Barrier -> bump (fun s -> { s with barriers = s.barriers + 1 })
+              | Swizzle _ ->
+                  bump (fun s -> { s with swizzles = s.swizzles + 1 })
+              | Trap _ -> bump (fun s -> { s with traps = s.traps + 1 })
+              | Fence _ -> ()
+              | _ ->
+                  if Uniformity.inst_scalarizable div i then
+                    bump (fun s -> { s with salu = s.salu + 1 })
+                  else bump (fun s -> { s with valu = s.valu + 1 })
+            end
+        | If (_, t, e) ->
+            bump (fun s -> { s with branches = s.branches + 1 });
+            walk t;
+            walk e
+        | While (h, _, b) ->
+            bump (fun s -> { s with loops = s.loops + 1 });
+            walk h;
+            walk b)
+      body
+  in
+  walk k.body;
+  !s
+
+let to_string (s : t) =
+  Printf.sprintf
+    "insts=%d valu=%d salu=%d gld=%d gst=%d lld=%d lst=%d atomic=%d barrier=%d \
+     swizzle=%d trap=%d br=%d loop=%d"
+    s.total s.valu s.salu s.global_loads s.global_stores s.local_loads
+    s.local_stores s.atomics s.barriers s.swizzles s.traps s.branches s.loops

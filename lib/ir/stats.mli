@@ -1,0 +1,23 @@
+(** Static instruction statistics for a kernel: counts per instruction
+    class, plus how many instructions would scalarize onto the scalar
+    unit. Used for reporting and for structural tests on the RMT
+    transforms. *)
+
+type t = {
+  total : int;
+  valu : int;
+  salu : int;
+  global_loads : int;
+  global_stores : int;
+  local_loads : int;
+  local_stores : int;
+  atomics : int;
+  barriers : int;
+  swizzles : int;
+  traps : int;
+  branches : int;
+  loops : int;
+}
+
+val collect : Types.kernel -> t
+val to_string : t -> string

@@ -1,0 +1,111 @@
+(** Uniformity (divergence) analysis.
+
+    A register is {e uniform} when every work-item of a wavefront is
+    guaranteed to hold the same value in it; otherwise it is {e divergent}.
+    The GCN compiler uses this to place computation on the scalar unit (SU)
+    and values in the scalar register file (SRF) — which is exactly why
+    Intra-Group RMT cannot protect the SU/SRF (Table 2 of the paper): both
+    twins of a pair share the single scalar execution of a uniform
+    instruction.
+
+    The analysis is a forward fixed point over the structured body:
+    - [Local_id]/[Global_id] queries, cross-lane swizzles (except
+      broadcasts), memory loads and atomic results are divergent sources;
+    - an instruction's result is divergent if any operand is divergent or
+      if it executes under divergent control flow;
+    - loops are re-walked until no new register becomes divergent. *)
+
+open Types
+
+let value_divergent div = function
+  | Reg r -> div.(r)
+  | Imm _ | Imm_f32 _ -> false
+
+let inherently_divergent (i : inst) =
+  match i with
+  | Special (Global_id _, _) | Special (Local_id _, _) -> true
+  | Special
+      ( ( Group_id _ | Global_size _ | Local_size _ | Num_groups _
+        | Lds_base _ ),
+        _ ) ->
+      false
+  | Load _ | Atomic _ | Cas _ -> true
+  | Swizzle (Bcast _, _, _) -> false
+  | Swizzle ((Dup_even | Dup_odd | Xor_mask _), _, _) -> true
+  | Iarith _ | Farith _ | Funary _ | Icmp _ | Fcmp _ | Select _ | Mov _
+  | Cvt _ | Mad _ | Fma _ | Arg _ | Store _ | Barrier | Fence _ | Trap _ ->
+      false
+
+(** [analyze k] returns a per-register divergence table of size [k.nregs]. *)
+let analyze (k : kernel) : bool array =
+  let div = Array.make (max k.nregs 1) false in
+  let changed = ref true in
+  let mark r =
+    if not div.(r) then begin
+      div.(r) <- true;
+      changed := true
+    end
+  in
+  let rec walk ctrl_div body =
+    List.iter
+      (fun s ->
+        match s with
+        | I i -> begin
+            match inst_def i with
+            | None -> ()
+            | Some d ->
+                let operand_div =
+                  match i with
+                  (* a broadcast launders divergence: every lane reads the
+                     same source lane *)
+                  | Swizzle (Bcast _, _, _) -> false
+                  | _ -> List.exists (value_divergent div) (inst_uses i)
+                in
+                if ctrl_div || operand_div || inherently_divergent i then
+                  mark d
+          end
+        | If (c, t, e) ->
+            let cdiv = ctrl_div || value_divergent div c in
+            walk cdiv t;
+            walk cdiv e
+        | While (h, c, b) ->
+            (* Iterate the loop locally until its contribution stabilizes:
+               a value carried around the back-edge can become divergent on
+               a later pass. *)
+            let local_changed = ref true in
+            while !local_changed do
+              local_changed := false;
+              let before = Array.copy div in
+              walk ctrl_div h;
+              let cdiv = ctrl_div || value_divergent div c in
+              walk cdiv b;
+              walk cdiv h;
+              if div <> before then local_changed := true
+            done)
+      body
+  in
+  while !changed do
+    changed := false;
+    walk false k.body
+  done;
+  div
+
+(** True when every operand (and the destination, if any) of [i] is
+    uniform — i.e. the instruction can execute once per wavefront on the
+    scalar unit. Memory and synchronization operations never scalarize in
+    this model. *)
+let inst_scalarizable div (i : inst) =
+  match i with
+  | Load _ | Store _ | Atomic _ | Cas _ | Barrier | Fence _ | Swizzle _
+  | Trap _ ->
+      false
+  | _ -> (
+      (not (inherently_divergent i))
+      && (not (List.exists (value_divergent div) (inst_uses i)))
+      && match inst_def i with Some d -> not div.(d) | None -> true)
+
+(** Count uniform/divergent register totals, for reporting. *)
+let summary (k : kernel) =
+  let div = analyze k in
+  let d = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 div in
+  (k.nregs - d, d)

@@ -1,0 +1,22 @@
+(** Uniformity (divergence) analysis.
+
+    A register is {e uniform} when every work-item of a wavefront is
+    guaranteed to hold the same value in it. The GCN compiler uses this
+    to place computation on the scalar unit (SU) and values in the scalar
+    register file (SRF) — which is exactly why Intra-Group RMT cannot
+    protect the SU/SRF (paper Table 2): both twins of a pair share the
+    single scalar execution of a uniform instruction. *)
+
+val analyze : Types.kernel -> bool array
+(** Per-register divergence table of size [kernel.nregs]:
+    [true] = divergent. *)
+
+val value_divergent : bool array -> Types.value -> bool
+(** Is this operand divergent under the given table? *)
+
+val inst_scalarizable : bool array -> Types.inst -> bool
+(** Can this instruction execute once per wavefront on the scalar unit?
+    Memory and synchronization operations never scalarize. *)
+
+val summary : Types.kernel -> int * int
+(** [(uniform, divergent)] register counts, for reporting. *)

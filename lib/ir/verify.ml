@@ -1,0 +1,116 @@
+(** Static well-formedness checking for kernels.
+
+    The verifier enforces the invariants the simulator and the RMT passes
+    rely on:
+    - register indices are within [0, nregs); arguments and LDS names refer
+      to declared parameters/allocations;
+    - every register is defined before use on all paths (branch arms merge
+      by intersection; a loop body may execute zero times, so only header
+      definitions survive the loop);
+    - barriers appear only under uniform control flow, as required by the
+      OpenCL specification (work-group barriers must be reached by all or
+      none of a work-group's work-items);
+    - LDS allocations fit the device segment size checked later at launch.
+
+    All RMT-generated kernels are re-verified in the test suite, which is
+    how we catch transform bugs that would otherwise surface as simulator
+    crashes. *)
+
+open Types
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+module Rset = Set.Make (Int)
+
+let check_value nregs defined v =
+  match v with
+  | Reg r ->
+      if r < 0 || r >= nregs then fail "register r%d out of range" r;
+      if not (Rset.mem r defined) then fail "register r%d used before definition" r
+  | Imm _ | Imm_f32 _ -> ()
+
+let check_inst (k : kernel) defined (i : inst) =
+  let nregs = k.nregs in
+  List.iter (check_value nregs defined) (inst_uses i);
+  begin
+    match i with
+    | Arg (_, idx) ->
+        if idx < 0 || idx >= param_count k then
+          fail "argument index %d out of range (kernel has %d params)" idx
+            (param_count k)
+    | Special (Lds_base name, _) ->
+        if not (List.mem_assoc name k.lds_allocs) then
+          fail "unknown LDS allocation %s" name
+    | Special ((Global_id d | Local_id d | Group_id d | Global_size d
+               | Local_size d | Num_groups d), _) ->
+        if d < 0 || d > 2 then fail "NDRange dimension %d out of range" d
+    | Swizzle (Xor_mask m, _, _) ->
+        if m < 0 || m > 63 then fail "swizzle xor mask %d out of range" m
+    | Swizzle (Bcast l, _, _) ->
+        if l < 0 || l > 63 then fail "swizzle broadcast lane %d out of range" l
+    | _ -> ()
+  end;
+  match inst_def i with
+  | Some d ->
+      if d < 0 || d >= nregs then fail "destination r%d out of range" d;
+      Rset.add d defined
+  | None -> defined
+
+(* Walk the body tracking the definitely-defined register set and whether
+   control flow is divergent (for the barrier-uniformity rule). *)
+let check_body (k : kernel) div =
+  let value_div = Uniformity.value_divergent div in
+  let rec walk defined ctrl_div body =
+    List.fold_left
+      (fun defined s ->
+        match s with
+        | I Barrier ->
+            if ctrl_div then
+              fail "barrier under divergent control flow in kernel %s" k.kname;
+            defined
+        | I i -> check_inst k defined i
+        | If (c, t, e) ->
+            check_value k.nregs defined c;
+            let cdiv = ctrl_div || value_div c in
+            let dt = walk defined cdiv t in
+            let de = walk defined cdiv e in
+            Rset.inter dt de
+        | While (h, c, b) ->
+            (* The header always executes at least once. *)
+            let dh = walk defined ctrl_div h in
+            check_value k.nregs dh c;
+            let cdiv = ctrl_div || value_div c in
+            let db = walk dh cdiv b in
+            (* Re-walk the header with body definitions to validate uses on
+               the back edge; its definitions were already available. *)
+            let _ = walk db cdiv h in
+            dh)
+      defined body
+  in
+  ignore (walk Rset.empty false k.body)
+
+let check_lds (k : kernel) =
+  List.iter
+    (fun (name, sz) ->
+      if sz < 0 then fail "LDS allocation %s has negative size" name;
+      if sz mod 4 <> 0 then fail "LDS allocation %s is not 4-byte aligned" name)
+    k.lds_allocs;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then fail "duplicate LDS allocation %s" name;
+      Hashtbl.add seen name ())
+    k.lds_allocs
+
+(** [check k] raises {!Invalid} when the kernel is malformed. *)
+let check (k : kernel) =
+  if k.nregs < 0 then fail "negative register count";
+  check_lds k;
+  let div = Uniformity.analyze k in
+  check_body k div
+
+(** [check_result k] is [Ok ()] or [Error message]. *)
+let check_result (k : kernel) =
+  match check k with () -> Ok () | exception Invalid m -> Error m

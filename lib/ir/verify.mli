@@ -1,0 +1,15 @@
+(** Static well-formedness checking for kernels.
+
+    Enforces the invariants the simulator and RMT passes rely on:
+    registers in range and defined before use on all paths (branch arms
+    merge by intersection; loop bodies may run zero times), valid
+    argument indices and LDS names, 4-byte-aligned LDS allocations, and
+    OpenCL's rule that barriers only appear under uniform control flow. *)
+
+exception Invalid of string
+
+val check : Types.kernel -> unit
+(** @raise Invalid when the kernel is malformed. *)
+
+val check_result : Types.kernel -> (unit, string) result
+(** Non-raising variant of {!check}. *)

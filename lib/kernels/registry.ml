@@ -1,0 +1,30 @@
+(** All 16 AMD SDK benchmark kernels, in the order the paper's figures
+    list them. *)
+
+let all : Bench.t list =
+  [
+    Binarysearch.bench;   (* BinS *)
+    Binomial.bench;       (* BO *)
+    Bitonic.bench;        (* BitS *)
+    Blackscholes.bench;   (* BlkSch *)
+    Dct.bench;            (* DCT *)
+    Dwt.bench;            (* DWT *)
+    Fwt.bench;            (* FWT *)
+    Floydwarshall.bench;  (* FW *)
+    Matmul.bench;         (* MM *)
+    Nbody.bench;          (* NB *)
+    Prefixsum.bench;      (* PS *)
+    Quasirandom.bench;    (* QRS *)
+    Reduction.bench;      (* R *)
+    Convolution.bench;    (* SC *)
+    Sobel.bench;          (* SF *)
+    Urng.bench;           (* URNG *)
+  ]
+
+let find id =
+  match List.find_opt (fun (b : Bench.t) -> b.id = id) all with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown benchmark %s (known: %s)" id
+           (String.concat ", " (List.map (fun (b : Bench.t) -> b.id) all)))

@@ -1,0 +1,8 @@
+(** All 16 AMD SDK benchmark kernels, in the order the paper's figures
+    list them. *)
+
+val all : Bench.t list
+
+val find : string -> Bench.t
+(** Look up by the paper's abbreviation (e.g. ["BinS"]).
+    @raise Invalid_argument on unknown ids. *)

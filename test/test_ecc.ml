@@ -1,0 +1,118 @@
+(* Tests for the SEC-DED codec and the Table 1 overhead model. *)
+
+open Ecc
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let test_check_bits () =
+  check Alcotest.int "k=32 needs 6 check bits" 6 (Sec_ded.check_bits 32);
+  check Alcotest.int "k=64 needs 7 check bits" 7 (Sec_ded.check_bits 64);
+  check Alcotest.int "k=512 needs 10 check bits" 10 (Sec_ded.check_bits 512);
+  check Alcotest.int "k=32 total (38,32)+parity" 39 (Sec_ded.total_bits 32);
+  check Alcotest.int "k=64 total (71,64)+parity" 72 (Sec_ded.total_bits 64)
+
+let test_clean_roundtrip () =
+  List.iter
+    (fun v ->
+      match Sec_ded.decode32 (Sec_ded.encode32 v) with
+      | Ok (v', `Clean) -> check Alcotest.int "value" v v'
+      | Ok (_, `Corrected _) -> Alcotest.fail "spurious correction"
+      | Error `Double -> Alcotest.fail "spurious double error")
+    [ 0; 1; -1; 0x12345678; -0x12345678; 0x7FFFFFFF; -0x80000000 ]
+
+let test_single_error_corrected () =
+  let v = 0x5A5A5A5 in
+  let code = Sec_ded.encode32 v in
+  for pos = 0 to Array.length code - 1 do
+    let corrupted = Array.copy code in
+    corrupted.(pos) <- not corrupted.(pos);
+    match Sec_ded.decode32 corrupted with
+    | Ok (v', `Corrected _) ->
+        check Alcotest.int (Printf.sprintf "flip at %d corrected" pos) v v'
+    | Ok (_, `Clean) -> Alcotest.fail "flip not noticed"
+    | Error `Double -> Alcotest.fail "single flip reported as double"
+  done
+
+let test_double_error_detected () =
+  let v = 0x0F0F0F0 in
+  let code = Sec_ded.encode32 v in
+  let n = Array.length code in
+  (* exhaustive over a diagonal band of position pairs *)
+  for a = 0 to n - 2 do
+    let b = (a + 7) mod n in
+    if a <> b then begin
+      let corrupted = Array.copy code in
+      corrupted.(a) <- not corrupted.(a);
+      corrupted.(b) <- not corrupted.(b);
+      match Sec_ded.decode32 corrupted with
+      | Error `Double -> ()
+      | Ok (_, `Clean) ->
+          Alcotest.fail (Printf.sprintf "double flip (%d,%d) unnoticed" a b)
+      | Ok (_, `Corrected _) ->
+          Alcotest.fail
+            (Printf.sprintf "double flip (%d,%d) miscorrected" a b)
+    end
+  done
+
+let prop_single_flip_corrects =
+  QCheck.Test.make ~name:"any single flip is corrected" ~count:300
+    QCheck.(pair (int_range (-0x80000000) 0x7FFFFFFF) (int_range 0 38))
+    (fun (v, pos) ->
+      let code = Sec_ded.encode32 v in
+      let pos = pos mod Array.length code in
+      code.(pos) <- not code.(pos);
+      match Sec_ded.decode32 code with
+      | Ok (v', `Corrected _) -> v' = v
+      | _ -> false)
+
+let prop_double_flip_detected =
+  QCheck.Test.make ~name:"any double flip is flagged" ~count:300
+    QCheck.(triple (int_range (-0x80000000) 0x7FFFFFFF) (int_range 0 38) (int_range 0 38))
+    (fun (v, a, b) ->
+      let code = Sec_ded.encode32 v in
+      let n = Array.length code in
+      let a = a mod n and b = b mod n in
+      QCheck.assume (a <> b);
+      code.(a) <- not code.(a);
+      code.(b) <- not code.(b);
+      match Sec_ded.decode32 code with Error `Double -> true | Ok _ -> false)
+
+let test_table1_values () =
+  let rows = Overhead.table1 () in
+  let find name =
+    (List.find (fun r -> r.Overhead.r_name = name) rows).Overhead.r_ecc_bytes
+  in
+  (* the paper's Table 1 values *)
+  check (Alcotest.float 0.1) "LDS 14 kB" (14.0 *. 1024.0) (find "Local data share");
+  check (Alcotest.float 0.1) "VRF 56 kB" (56.0 *. 1024.0)
+    (find "Vector register file");
+  check (Alcotest.float 0.1) "SRF 1.75 kB" (1.75 *. 1024.0)
+    (find "Scalar register file");
+  (* paper: 343.75 B with a 16,000-byte L1; 352 B with binary kB *)
+  check (Alcotest.float 0.1) "L1 352 B" 352.0 (find "R/W L1 cache");
+  let total, frac = Overhead.totals rows in
+  check Alcotest.bool "~72 kB total" true
+    (total > 71.0 *. 1024.0 && total < 73.0 *. 1024.0);
+  check Alcotest.bool "~21% overhead" true (frac > 0.20 && frac < 0.22)
+
+let test_overhead_bits () =
+  (* 7 extra bits per 32-bit word *)
+  check Alcotest.int "one word" 7 (Sec_ded.overhead_bits ~word_bits:32 ~data_bits:32);
+  check Alcotest.int "1 kB of words" (7 * 256)
+    (Sec_ded.overhead_bits ~word_bits:32 ~data_bits:(1024 * 8))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_single_flip_corrects; prop_double_flip_detected ]
+
+let suite =
+  [
+    tc "check bits" `Quick test_check_bits;
+    tc "clean roundtrip" `Quick test_clean_roundtrip;
+    tc "single error corrected (exhaustive)" `Quick test_single_error_corrected;
+    tc "double error detected" `Quick test_double_error_detected;
+    tc "table 1 values" `Quick test_table1_values;
+    tc "overhead bits" `Quick test_overhead_bits;
+  ]
+  @ qsuite

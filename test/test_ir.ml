@@ -1,0 +1,481 @@
+(* Unit and property tests for the gpu_ir library: types, builder,
+   pretty-printer, verifier, uniformity analysis, register pressure and
+   the f32 helpers. *)
+
+open Gpu_ir
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* F32 helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_norm_range () =
+  check Alcotest.int "positive" 5 (F32.norm 5);
+  check Alcotest.int "negative wraps" (-1) (F32.norm 0xFFFFFFFF);
+  check Alcotest.int "high bits dropped" 1 (F32.norm 0x100000001);
+  check Alcotest.int "min_int32" (-0x80000000) (F32.norm 0x80000000)
+
+let test_f32_roundtrip () =
+  List.iter
+    (fun x ->
+      check (Alcotest.float 0.0) (string_of_float x) x
+        (F32.to_float (F32.of_float x)))
+    [ 0.0; 1.0; -2.5; 0.125; 65504.0 ]
+
+let test_f32_rounding () =
+  (* 0.1 is not representable; of_float must round to nearest f32 *)
+  let b = F32.of_float 0.1 in
+  check Alcotest.int "0.1 bits" 0x3DCCCCCD b
+
+let prop_norm_idempotent =
+  QCheck.Test.make ~name:"norm is idempotent" ~count:500
+    QCheck.(int_range (-0x80000000) 0x7FFFFFFF)
+    (fun v -> F32.norm (F32.norm v) = F32.norm v)
+
+let prop_norm_32bit =
+  QCheck.Test.make ~name:"norm result fits in 32 bits" ~count:500
+    QCheck.int
+    (fun v ->
+      let n = F32.norm v in
+      n >= -0x80000000 && n <= 0x7FFFFFFF)
+
+let prop_f32_bits_roundtrip =
+  QCheck.Test.make ~name:"to_float/of_float roundtrip on bit patterns"
+    ~count:500
+    QCheck.(int_range (-0x80000000) 0x7FFFFFFF)
+    (fun bits ->
+      let x = F32.to_float bits in
+      (* NaNs do not round-trip bit-exactly; skip them *)
+      Float.is_nan x || F32.of_float x = bits)
+
+(* ------------------------------------------------------------------ *)
+(* Builder and structural helpers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_kernel () =
+  let b = Builder.create "sample" in
+  let buf = Builder.buffer_param b "buf" in
+  let n = Builder.scalar_param b "n" in
+  let lds = Builder.lds_alloc b "scratch" 256 in
+  let gid = Builder.global_id b 0 in
+  let lid = Builder.local_id b 0 in
+  Builder.lstore b (Builder.mad b lid (Builder.imm 4) lds) gid;
+  Builder.barrier b;
+  Builder.when_ b (Builder.lt_s b gid n) (fun () ->
+      let v = Builder.gload_elem b buf gid in
+      let acc = Builder.cell b (Builder.imm 0) in
+      Builder.for_ b ~lo:(Builder.imm 0) ~hi:(Builder.imm 4)
+        ~step:(Builder.imm 1) (fun _i ->
+          Builder.set b acc (Builder.add b (Builder.get acc) v));
+      Builder.gstore_elem b buf gid (Builder.get acc));
+  Builder.finish b
+
+let test_builder_structure () =
+  let k = sample_kernel () in
+  check Alcotest.string "name" "sample" k.Types.kname;
+  check Alcotest.int "params" 2 (Types.param_count k);
+  check Alcotest.int "lds bytes" 256 (Types.lds_bytes k);
+  let s = Stats.collect k in
+  check Alcotest.int "one barrier" 1 s.Stats.barriers;
+  check Alcotest.int "one loop" 1 s.Stats.loops;
+  check Alcotest.int "one branch" 1 s.Stats.branches;
+  check Alcotest.int "one global load" 1 s.Stats.global_loads;
+  check Alcotest.int "one global store" 1 s.Stats.global_stores;
+  check Alcotest.int "one local store" 1 s.Stats.local_stores
+
+let test_builder_unclosed_block () =
+  let b = Builder.create "bad" in
+  Builder.push_block b;
+  Alcotest.check_raises "unclosed block rejected"
+    (Invalid_argument "Builder.finish: unclosed control-flow block")
+    (fun () -> ignore (Builder.finish b))
+
+let test_builder_duplicate_lds () =
+  let b = Builder.create "bad" in
+  ignore (Builder.lds_alloc b "x" 64);
+  Alcotest.check_raises "duplicate LDS rejected"
+    (Invalid_argument "Builder.lds_alloc: duplicate allocation x")
+    (fun () -> ignore (Builder.lds_alloc b "x" 64))
+
+let test_iter_inst_order () =
+  let k = sample_kernel () in
+  let count = ref 0 in
+  Types.iter_inst (fun _ -> incr count) k.Types.body;
+  let s = Stats.collect k in
+  check Alcotest.int "iter_inst visits every instruction" s.Stats.total !count
+
+let test_concat_map_identity () =
+  let k = sample_kernel () in
+  let body' = Types.concat_map_stmts (fun s -> [ s ]) k.Types.body in
+  check Alcotest.bool "identity concat_map preserves body" true
+    (body' = k.Types.body)
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_contains () =
+  let k = sample_kernel () in
+  let s = Pp.kernel_to_string k in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("listing mentions " ^ needle) true
+        (string_contains s needle))
+    [ "kernel sample"; "barrier"; "global_id(0)"; "lds scratch" ]
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_verify_sample () = Verify.check (sample_kernel ())
+
+let test_verify_undefined_reg () =
+  let k =
+    {
+      Types.kname = "bad";
+      params = [];
+      lds_allocs = [];
+      body = [ Types.I (Types.Mov (0, Types.Reg 1)) ];
+      nregs = 2;
+    }
+  in
+  check Alcotest.bool "use before def rejected" true
+    (Result.is_error (Verify.check_result k))
+
+let test_verify_branch_merge () =
+  (* a register defined in only one branch is not defined after the If *)
+  let k =
+    {
+      Types.kname = "bad";
+      params = [];
+      lds_allocs = [];
+      body =
+        [
+          Types.I (Types.Mov (0, Types.Imm 1l));
+          Types.If
+            ( Types.Reg 0,
+              [ Types.I (Types.Mov (1, Types.Imm 2l)) ],
+              [] );
+          Types.I (Types.Mov (2, Types.Reg 1));
+        ];
+      nregs = 3;
+    }
+  in
+  check Alcotest.bool "one-armed def rejected" true
+    (Result.is_error (Verify.check_result k));
+  (* defined in both branches is fine *)
+  let good =
+    {
+      k with
+      Types.body =
+        [
+          Types.I (Types.Mov (0, Types.Imm 1l));
+          Types.If
+            ( Types.Reg 0,
+              [ Types.I (Types.Mov (1, Types.Imm 2l)) ],
+              [ Types.I (Types.Mov (1, Types.Imm 3l)) ] );
+          Types.I (Types.Mov (2, Types.Reg 1));
+        ];
+    }
+  in
+  Verify.check good
+
+let test_verify_divergent_barrier () =
+  let b = Builder.create "divbar" in
+  let gid = Builder.global_id b 0 in
+  Builder.when_ b (Builder.lt_s b gid (Builder.imm 3)) (fun () ->
+      Builder.barrier b);
+  let k = Builder.finish b in
+  check Alcotest.bool "barrier under divergent control rejected" true
+    (Result.is_error (Verify.check_result k))
+
+let test_verify_uniform_barrier_ok () =
+  let b = Builder.create "unibar" in
+  let n = Builder.scalar_param b "n" in
+  Builder.when_ b (Builder.lt_s b n (Builder.imm 3)) (fun () ->
+      Builder.barrier b);
+  Verify.check (Builder.finish b)
+
+let test_verify_bad_arg_index () =
+  let k =
+    {
+      Types.kname = "bad";
+      params = [ Types.Param_scalar "x" ];
+      lds_allocs = [];
+      body = [ Types.I (Types.Arg (0, 3)) ];
+      nregs = 1;
+    }
+  in
+  check Alcotest.bool "argument index out of range rejected" true
+    (Result.is_error (Verify.check_result k))
+
+let test_verify_unknown_lds () =
+  let k =
+    {
+      Types.kname = "bad";
+      params = [];
+      lds_allocs = [];
+      body = [ Types.I (Types.Special (Types.Lds_base "ghost", 0)) ];
+      nregs = 1;
+    }
+  in
+  check Alcotest.bool "unknown LDS name rejected" true
+    (Result.is_error (Verify.check_result k))
+
+let test_verify_loop_body_defs_dont_escape () =
+  (* a register defined only in a loop body (which may run zero times)
+     must not be usable after the loop *)
+  let body =
+    [
+      Types.I (Types.Mov (0, Types.Imm 0l));
+      Types.While
+        ( [ Types.I (Types.Icmp (Types.Ilt_s, 1, Types.Reg 0, Types.Imm 4l)) ],
+          Types.Reg 1,
+          [ Types.I (Types.Mov (2, Types.Imm 7l));
+            Types.I (Types.Iarith (Types.Add, 0, Types.Reg 0, Types.Imm 1l)) ] );
+      Types.I (Types.Mov (3, Types.Reg 2));
+    ]
+  in
+  let k =
+    { Types.kname = "bad"; params = []; lds_allocs = []; body; nregs = 4 }
+  in
+  check Alcotest.bool "loop-body def not available after loop" true
+    (Result.is_error (Verify.check_result k))
+
+(* ------------------------------------------------------------------ *)
+(* Uniformity                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uniformity_basics () =
+  let b = Builder.create "uni" in
+  let n = Builder.scalar_param b "n" in
+  let gid = Builder.global_id b 0 in
+  let u = Builder.add b n (Builder.imm 1) in
+  let d = Builder.add b gid n in
+  let k = Builder.finish b in
+  let div = Uniformity.analyze k in
+  let reg = function Types.Reg r -> r | _ -> assert false in
+  check Alcotest.bool "scalar arg is uniform" false div.(reg n);
+  check Alcotest.bool "arith on uniform is uniform" false div.(reg u);
+  check Alcotest.bool "global id is divergent" true div.(reg gid);
+  check Alcotest.bool "mix is divergent" true div.(reg d)
+
+let test_uniformity_control_dependence () =
+  let b = Builder.create "ctrl" in
+  let gid = Builder.global_id b 0 in
+  let x = Builder.cell b (Builder.imm 0) in
+  Builder.when_ b (Builder.lt_s b gid (Builder.imm 2)) (fun () ->
+      Builder.set b x (Builder.imm 5));
+  let k = Builder.finish b in
+  let div = Uniformity.analyze k in
+  check Alcotest.bool "value assigned under divergent control is divergent"
+    true div.(x)
+
+let test_uniformity_loop_fixpoint () =
+  (* a uniform cell that absorbs a divergent value through the back edge *)
+  let b = Builder.create "loop" in
+  let gid = Builder.global_id b 0 in
+  let x = Builder.cell b (Builder.imm 1) in
+  Builder.while_ b
+    (fun () -> Builder.lt_s b (Builder.get x) (Builder.imm 10))
+    (fun () -> Builder.set b x (Builder.add b (Builder.get x) gid));
+  let k = Builder.finish b in
+  let div = Uniformity.analyze k in
+  check Alcotest.bool "back-edge divergence propagates" true div.(x)
+
+let test_uniformity_bcast () =
+  let b = Builder.create "bcast" in
+  let gid = Builder.global_id b 0 in
+  let u = Builder.swizzle b (Types.Bcast 0) gid in
+  let d = Builder.swizzle b Types.Dup_even gid in
+  let k = Builder.finish b in
+  let div = Uniformity.analyze k in
+  let reg = function Types.Reg r -> r | _ -> assert false in
+  check Alcotest.bool "broadcast result is uniform" false div.(reg u);
+  check Alcotest.bool "dup_even result is divergent" true div.(reg d)
+
+(* ------------------------------------------------------------------ *)
+(* Register pressure                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_regpressure_monotone_in_liveness () =
+  (* a chain of adds where all intermediates stay live uses more VGPRs
+     than one where each value dies immediately *)
+  let chain ~keep_live =
+    let b = Builder.create "chain" in
+    let gid = Builder.global_id b 0 in
+    let vs = ref [ gid ] in
+    for _ = 1 to 10 do
+      let prev = List.hd !vs in
+      let v = Builder.add b prev (Builder.imm 1) in
+      vs := if keep_live then v :: !vs else [ v ]
+    done;
+    (* one final sum keeps everything in [vs] live until here *)
+    let total =
+      List.fold_left (fun acc v -> Builder.add b acc v) (Builder.imm 0) !vs
+    in
+    ignore total;
+    Builder.finish b
+  in
+  let dead = (Regpressure.analyze (chain ~keep_live:false)).Regpressure.vgprs in
+  let live = (Regpressure.analyze (chain ~keep_live:true)).Regpressure.vgprs in
+  check Alcotest.bool
+    (Printf.sprintf "long-lived values cost more registers (%d < %d)" dead live)
+    true (dead < live)
+
+let test_regpressure_loop_extension () =
+  (* a value defined before a loop and used inside stays live across it *)
+  let with_loop_use =
+    let b = Builder.create "loopuse" in
+    let gid = Builder.global_id b 0 in
+    let x = Builder.add b gid (Builder.imm 3) in
+    let acc = Builder.cell b (Builder.imm 0) in
+    Builder.for_ b ~lo:(Builder.imm 0) ~hi:(Builder.imm 8)
+      ~step:(Builder.imm 1) (fun _ ->
+        Builder.set b acc (Builder.add b (Builder.get acc) x));
+    Builder.finish b
+  in
+  let u = Regpressure.analyze with_loop_use in
+  check Alcotest.bool "positive vgpr estimate" true (u.Regpressure.vgprs > 0)
+
+let test_rmt_increases_pressure () =
+  let k = sample_kernel () in
+  let orig = Regpressure.analyze k in
+  let rmt =
+    Rmt_core.Transform.apply Rmt_core.Transform.intra_plus_lds ~local_items:64 k
+  in
+  let after = Regpressure.analyze rmt in
+  check Alcotest.bool "RMT adds register pressure" true
+    (after.Regpressure.vgprs > orig.Regpressure.vgprs);
+  check Alcotest.bool "RMT (+LDS) more than doubles LDS" true
+    (after.Regpressure.lds > 2 * orig.Regpressure.lds)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_norm_idempotent; prop_norm_32bit; prop_f32_bits_roundtrip ]
+
+let base_suite =
+  [
+    tc "f32: norm range" `Quick test_norm_range;
+    tc "f32: roundtrip" `Quick test_f32_roundtrip;
+    tc "f32: rounding to nearest" `Quick test_f32_rounding;
+    tc "builder: structure" `Quick test_builder_structure;
+    tc "builder: unclosed block" `Quick test_builder_unclosed_block;
+    tc "builder: duplicate lds" `Quick test_builder_duplicate_lds;
+    tc "types: iter_inst" `Quick test_iter_inst_order;
+    tc "types: concat_map identity" `Quick test_concat_map_identity;
+    tc "pp: listing" `Quick test_pp_contains;
+    tc "verify: sample ok" `Quick test_verify_sample;
+    tc "verify: undefined register" `Quick test_verify_undefined_reg;
+    tc "verify: branch merge" `Quick test_verify_branch_merge;
+    tc "verify: divergent barrier" `Quick test_verify_divergent_barrier;
+    tc "verify: uniform barrier" `Quick test_verify_uniform_barrier_ok;
+    tc "verify: bad arg index" `Quick test_verify_bad_arg_index;
+    tc "verify: unknown lds" `Quick test_verify_unknown_lds;
+    tc "verify: loop body defs" `Quick test_verify_loop_body_defs_dont_escape;
+    tc "uniformity: basics" `Quick test_uniformity_basics;
+    tc "uniformity: control dependence" `Quick test_uniformity_control_dependence;
+    tc "uniformity: loop fixpoint" `Quick test_uniformity_loop_fixpoint;
+    tc "uniformity: broadcast" `Quick test_uniformity_bcast;
+    tc "regpressure: liveness" `Quick test_regpressure_monotone_in_liveness;
+    tc "regpressure: loops" `Quick test_regpressure_loop_extension;
+    tc "regpressure: rmt increases" `Quick test_rmt_increases_pressure;
+  ]
+  @ qsuite
+
+(* ------------------------------------------------------------------ *)
+(* Linear-scan register allocation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_regalloc_validity () =
+  (* no two simultaneously live virtuals in the same file may share a
+     physical register *)
+  List.iter
+    (fun (bench : Kernels.Bench.t) ->
+      let k = bench.make_kernel () in
+      let a = Regalloc.allocate k in
+      let div = Uniformity.analyze k in
+      List.iter
+        (fun (iv1 : Regalloc.interval) ->
+          List.iter
+            (fun (iv2 : Regalloc.interval) ->
+              if
+                iv1.Regalloc.i_reg < iv2.Regalloc.i_reg
+                && div.(iv1.Regalloc.i_reg) = div.(iv2.Regalloc.i_reg)
+                && a.Regalloc.phys.(iv1.Regalloc.i_reg)
+                   = a.Regalloc.phys.(iv2.Regalloc.i_reg)
+                && iv1.Regalloc.i_start <= iv2.Regalloc.i_end
+                && iv2.Regalloc.i_start <= iv1.Regalloc.i_end
+              then
+                Alcotest.fail
+                  (Printf.sprintf "%s: r%d and r%d overlap in phys %d" bench.id
+                     iv1.Regalloc.i_reg iv2.Regalloc.i_reg
+                     a.Regalloc.phys.(iv1.Regalloc.i_reg)))
+            a.Regalloc.intervals)
+        a.Regalloc.intervals)
+    [ Kernels.Registry.find "R"; Kernels.Registry.find "MM" ]
+
+let test_regalloc_matches_pressure () =
+  (* linear scan over sorted intervals is optimal for interval graphs:
+     its high-water mark equals the max-live bound behind Regpressure *)
+  List.iter
+    (fun id ->
+      let k = (Kernels.Registry.find id).make_kernel () in
+      let a = Regalloc.allocate k in
+      let u = Regpressure.analyze k in
+      let bound = u.Regpressure.vgprs - Regpressure.vgpr_reserve in
+      check Alcotest.bool
+        (Printf.sprintf "%s: scan (%d) consistent with max-live bound" id
+           a.Regalloc.vgprs_used)
+        true
+        (Regpressure.vgpr_slack a.Regalloc.vgprs_used = bound))
+    [ "BinS"; "BlkSch"; "MM"; "R"; "SF" ]
+
+let test_regalloc_annotate () =
+  let k = (Kernels.Registry.find "BinS").make_kernel () in
+  let s = Regalloc.annotate k in
+  check Alcotest.bool "annotation mentions VGPRs" true
+    (string_contains s "VGPRs");
+  check Alcotest.bool "physical names present" true (string_contains s ":v")
+
+let regalloc_suite =
+  [
+    tc "regalloc: validity" `Quick test_regalloc_validity;
+    tc "regalloc: matches pressure bound" `Quick test_regalloc_matches_pressure;
+    tc "regalloc: annotation" `Quick test_regalloc_annotate;
+  ]
+
+let suite = base_suite @ regalloc_suite
+
+(* Allocation validity over random kernels: no two overlapping intervals
+   in the same file share a physical register. *)
+let test_regalloc_fuzzed () =
+  for seed = 1 to 30 do
+    let k = Gen_kernel.generate seed in
+    let a = Regalloc.allocate k in
+    let div = Uniformity.analyze k in
+    List.iter
+      (fun (iv1 : Regalloc.interval) ->
+        List.iter
+          (fun (iv2 : Regalloc.interval) ->
+            if
+              iv1.Regalloc.i_reg < iv2.Regalloc.i_reg
+              && div.(iv1.Regalloc.i_reg) = div.(iv2.Regalloc.i_reg)
+              && a.Regalloc.phys.(iv1.Regalloc.i_reg)
+                 = a.Regalloc.phys.(iv2.Regalloc.i_reg)
+              && iv1.Regalloc.i_start <= iv2.Regalloc.i_end
+              && iv2.Regalloc.i_start <= iv1.Regalloc.i_end
+            then
+              Alcotest.fail
+                (Printf.sprintf "seed %d: r%d/r%d share phys %d" seed
+                   iv1.Regalloc.i_reg iv2.Regalloc.i_reg
+                   a.Regalloc.phys.(iv1.Regalloc.i_reg)))
+          a.Regalloc.intervals)
+      a.Regalloc.intervals
+  done
+
+let suite = suite @ [ tc "regalloc: fuzzed validity" `Quick test_regalloc_fuzzed ]

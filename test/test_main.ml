@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "gpu_rmt"
+    [
+      ("ir", Test_ir.suite);
+      ("ecc", Test_ecc.suite);
+      ("sim", Test_sim.suite);
+      ("rmt", Test_rmt.suite);
+      ("fault", Test_fault.suite);
+      ("power", Test_power.suite);
+      ("kernels", Test_kernels.suite);
+      ("harness", Test_harness.suite);
+      ("opt", Test_opt.suite);
+      ("parse", Test_parse.suite);
+      ("tmr", Test_tmr.suite);
+    ]

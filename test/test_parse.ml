@@ -1,0 +1,155 @@
+(* Round-trip tests for the IR text parser: print -> parse -> print must
+   be the identity on every benchmark kernel and every RMT-transformed
+   version; malformed input must produce positioned errors. *)
+
+open Gpu_ir
+module T = Rmt_core.Transform
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let roundtrip k =
+  let text = Pp.kernel_to_string k in
+  let k' = Parse.kernel_of_string text in
+  let text' = Pp.kernel_to_string k' in
+  (text, text')
+
+let test_roundtrip_all_benchmarks () =
+  List.iter
+    (fun (bench : Kernels.Bench.t) ->
+      let k = bench.make_kernel () in
+      let a, b = roundtrip k in
+      if a <> b then
+        Alcotest.fail (Printf.sprintf "%s does not round-trip" bench.id))
+    Kernels.Registry.all
+
+let test_roundtrip_transformed () =
+  List.iter
+    (fun (bench : Kernels.Bench.t) ->
+      List.iter
+        (fun variant ->
+          let k =
+            T.apply variant ~local_items:128 (bench.make_kernel ())
+          in
+          let a, b = roundtrip k in
+          if a <> b then
+            Alcotest.fail
+              (Printf.sprintf "%s/%s does not round-trip" bench.id
+                 (T.name variant)))
+        [ T.intra_plus_lds; T.intra_minus_lds_fast; T.inter_group ])
+    [ Kernels.Registry.find "R"; Kernels.Registry.find "MM";
+      Kernels.Registry.find "BitS" ]
+
+let test_parsed_kernel_runs () =
+  (* parse a kernel from text and execute it *)
+  let src = {|
+# doubling kernel, written by hand
+kernel doubler
+  param 0: global buffer data
+{
+  r0 = arg(0)
+  r1 = global_id(0)
+  r2 = mad r1, 4, r0
+  r3 = load.global [r2]
+  r4 = mul r3, 2
+  store.global [r2], r4
+}
+|} in
+  let k = Parse.kernel_of_string_checked src in
+  check Alcotest.string "name" "doubler" k.Types.kname;
+  let dev = Gpu_sim.Device.create Gpu_sim.Config.small in
+  let buf = Gpu_sim.Device.alloc dev (64 * 4) in
+  for i = 0 to 63 do Gpu_sim.Device.write_i32 dev buf i (i + 1) done;
+  ignore
+    (Gpu_sim.Device.launch dev k ~nd:(Gpu_sim.Geom.make_ndrange 64 64)
+       ~args:[ Gpu_sim.Device.A_buf buf ]);
+  for i = 0 to 63 do
+    check Alcotest.int "doubled" (2 * (i + 1)) (Gpu_sim.Device.read_i32 dev buf i)
+  done
+
+let test_control_flow_text () =
+  let src = {|
+kernel ctrl
+  param 0: global buffer out
+{
+  r0 = arg(0)
+  r1 = global_id(0)
+  r2 = and r1, 1
+  r3 = icmp.eq r2, 0
+  if r3 {
+    r4 = mov 10
+  } else {
+    r4 = mov 20
+  }
+  r5 = mov 0
+  r6 = mov 0
+  loop {
+    r7 = icmp.lt_s r6, 3
+    break unless r7
+    r5 = add r5, r4
+    r6 = add r6, 1
+  }
+  r8 = mad r1, 4, r0
+  store.global [r8], r5
+}
+|} in
+  let k = Parse.kernel_of_string_checked src in
+  let dev = Gpu_sim.Device.create Gpu_sim.Config.small in
+  let buf = Gpu_sim.Device.alloc dev (64 * 4) in
+  ignore
+    (Gpu_sim.Device.launch dev k ~nd:(Gpu_sim.Geom.make_ndrange 64 64)
+       ~args:[ Gpu_sim.Device.A_buf buf ]);
+  check Alcotest.int "even lane 3*10" 30 (Gpu_sim.Device.read_i32 dev buf 0);
+  check Alcotest.int "odd lane 3*20" 60 (Gpu_sim.Device.read_i32 dev buf 1)
+
+let expect_error src =
+  match Parse.kernel_of_string src with
+  | exception Parse.Parse_error (_, _) -> ()
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors_positioned () =
+  (match Parse.kernel_of_string "kernel k\n{\n  r0 = bogus r1\n}\n" with
+  | exception Parse.Parse_error (3, _) -> ()
+  | exception Parse.Parse_error (n, m) ->
+      Alcotest.fail (Printf.sprintf "wrong line %d: %s" n m)
+  | _ -> Alcotest.fail "expected error");
+  expect_error "not a kernel";
+  expect_error "kernel k\n{\n  r0 = add r1\n}\n";
+  expect_error "kernel k\n{\n  if r0 {\n}\n";
+  (* missing close *)
+  expect_error "kernel k\n{\n"
+
+let test_parse_rejects_bad_semantics () =
+  (* parses fine but the verifier rejects use-before-def *)
+  let src = "kernel k\n{\n  r0 = add r1, r2\n}\n" in
+  match Parse.kernel_of_string_checked src with
+  | exception Verify.Invalid _ -> ()
+  | _ -> Alcotest.fail "verifier should reject use-before-def"
+
+let suite =
+  [
+    tc "roundtrip: all 16 benchmarks" `Quick test_roundtrip_all_benchmarks;
+    tc "roundtrip: transformed kernels" `Quick test_roundtrip_transformed;
+    tc "parsed kernel runs" `Quick test_parsed_kernel_runs;
+    tc "control flow from text" `Quick test_control_flow_text;
+    tc "errors are positioned" `Quick test_errors_positioned;
+    tc "verifier guards parsed kernels" `Quick test_parse_rejects_bad_semantics;
+  ]
+
+(* Fuzz the parser: every random kernel (and its RMT versions) must
+   round-trip through the text format. *)
+let test_roundtrip_fuzzed () =
+  for seed = 1 to 60 do
+    let k = Gen_kernel.generate seed in
+    let a, b = roundtrip k in
+    if a <> b then
+      Alcotest.fail (Printf.sprintf "fuzz seed %d does not round-trip" seed);
+    let rmt = T.apply T.intra_plus_lds ~local_items:Gen_kernel.wg k in
+    let a, b = roundtrip rmt in
+    if a <> b then
+      Alcotest.fail
+        (Printf.sprintf "fuzz seed %d (RMT) does not round-trip" seed)
+  done
+
+let suite = suite @ [ tc "roundtrip: fuzzed kernels" `Quick test_roundtrip_fuzzed ]
