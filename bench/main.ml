@@ -6,15 +6,18 @@
     wall-clock cost of that experiment's representative unit of work.
 
     Usage:
-      dune exec bench/main.exe               # everything
-      dune exec bench/main.exe -- fig2 fig6  # selected experiments
-      dune exec bench/main.exe -- quick      # reduced fault campaigns
-      dune exec bench/main.exe -- micro      # Bechamel section only *)
+      dune exec bench/main.exe                  # everything
+      dune exec bench/main.exe -- fig2 fig6     # selected experiments
+      dune exec bench/main.exe -- quick         # reduced fault campaigns
+      dune exec bench/main.exe -- micro         # Bechamel section only
+      dune exec bench/main.exe -- fig2 -j 4     # 4 worker domains
+
+    Independent simulations run on a pool of OCaml domains; -j N (or
+    RMTGPU_JOBS) sets the worker count, defaulting to the machine's
+    recommended domain count. Report text is byte-identical at any -j;
+    only stderr progress lines may interleave. *)
 
 module T = Rmt_core.Transform
-
-let ctx = lazy (Harness.Experiments.create_ctx ())
-let quick_ctx = lazy (Harness.Experiments.create_ctx ~quick:true ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
@@ -173,12 +176,34 @@ let experiments =
     ("export", fun ctx -> Harness.Experiments.export ctx);
   ]
 
+(* Extract -j N / -jN from the argument list. *)
+let rec parse_jobs jobs acc = function
+  | [] -> (jobs, List.rev acc)
+  | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> parse_jobs (Some n) acc rest
+      | _ ->
+          Printf.eprintf "bench: -j expects a positive integer, got %s\n" n;
+          exit 2)
+  | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" -> (
+      match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
+      | Some n when n >= 1 -> parse_jobs (Some n) acc rest
+      | _ ->
+          Printf.eprintf "bench: bad jobs count %s\n" a;
+          exit 2)
+  | "-j" :: [] ->
+      Printf.eprintf "bench: -j expects a positive integer\n";
+      exit 2
+  | a :: rest -> parse_jobs jobs (a :: acc) rest
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = parse_jobs None [] (List.tl (Array.to_list Sys.argv)) in
   let quick = List.mem "quick" args in
-  let c = if quick then Lazy.force quick_ctx else Lazy.force ctx in
   if args = [ "micro" ] then run_micro ()
   else begin
+    let c = Harness.Experiments.create_ctx ~quick ?jobs () in
+    Printf.eprintf "[bench] %d worker domain(s)\n%!"
+      (Harness.Experiments.jobs c);
     let selected = List.filter (fun a -> List.mem_assoc a experiments) args in
     let to_run =
       if selected = [] then experiments
@@ -189,6 +214,7 @@ let () =
         Printf.eprintf "[bench] %s\n%!" name;
         print_string (f c))
       to_run;
+    Harness.Experiments.shutdown c;
     (* the full run ends with the micro section *)
     if selected = [] then run_micro ()
   end

@@ -130,10 +130,11 @@ let target_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
-let do_inject (b : Kernels.Bench.t) variant target n =
-  let ctx = Harness.Experiments.create_ctx () in
+let do_inject (b : Kernels.Bench.t) variant target n jobs =
+  let ctx = Harness.Experiments.create_ctx ?jobs () in
   let e = Harness.Experiments.coverage_experiment ctx b variant in
-  let t = Fault.Campaign.run ~n ~target ~seed:97 e in
+  let t = Fault.Campaign.run ~n ~map:(Harness.Experiments.campaign_map ctx) ~target ~seed:97 e in
+  Harness.Experiments.shutdown ctx;
   Printf.printf "%s under %s: %s%s\n" b.id (T.name variant)
     (Fault.Campaign.tally_to_string t)
     (if Fault.Campaign.covered t then "  [covered]" else "")
@@ -249,8 +250,8 @@ let do_runfile path variant global local arg_specs shows =
 
 (* ---------------- exp ---------------- *)
 
-let do_exp name quick =
-  let ctx = Harness.Experiments.create_ctx ~quick () in
+let do_exp name quick jobs =
+  let ctx = Harness.Experiments.create_ctx ~quick ?jobs () in
   let table =
     [
       ("table1", fun () -> Harness.Experiments.table1 ());
@@ -281,7 +282,9 @@ let do_exp name quick =
   in
   match List.assoc_opt name table with
   | Some f ->
-      print_string (f ());
+      let text = f () in
+      Harness.Experiments.shutdown ctx;
+      print_string text;
       `Ok ()
   | None ->
       `Error
@@ -301,6 +304,16 @@ let setup_logs verbose =
 
 let verbose_flag =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace scheduler events")
+
+let jobs_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulations (default: \
+           $(b,RMTGPU_JOBS), else the machine's recommended domain count; \
+           1 = sequential). Output is byte-identical at any $(docv).")
 
 let bench_arg = Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH")
 
@@ -343,7 +356,7 @@ let inject_cmd =
   let n = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Number of injections") in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
-    Term.(const do_inject $ bench_arg $ variant $ target $ n)
+    Term.(const do_inject $ bench_arg $ variant $ target $ n $ jobs_opt)
 
 let exp_cmd =
   let exp_name =
@@ -354,7 +367,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a table or figure of the paper")
-    Term.(ret (const do_exp $ exp_name $ quick))
+    Term.(ret (const do_exp $ exp_name $ quick $ jobs_opt))
 
 let runfile_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

@@ -96,29 +96,45 @@ let classify (o : observation) : outcome =
   | Gpu_sim.Device.Hung -> O_hang
   | Gpu_sim.Device.Finished -> if o.output_ok then O_masked else O_sdc
 
-(** Run [n] injections into [target], spreading injection times uniformly
-    over the middle 80% of the fault-free execution. *)
-let run ?(n = 40) ~(target : Gpu_sim.Device.inject_target) ~seed
-    (e : experiment) : tally =
+(** The [n] injection plans of a campaign: injection times spread
+    uniformly over the middle 80% of the fault-free execution, each with
+    a distinct derived seed. Pure — computing the plans up front is what
+    lets a caller run the injections in parallel. *)
+let plans ?(n = 40) ~(target : Gpu_sim.Device.inject_target) ~seed
+    ~golden_cycles () : Gpu_sim.Device.inject_plan list =
+  List.init n (fun i ->
+      let frac =
+        0.1 +. (0.8 *. float_of_int i /. float_of_int (max 1 (n - 1)))
+      in
+      let at_cycle = max 1 (int_of_float (frac *. float_of_int golden_cycles)) in
+      { Gpu_sim.Device.at_cycle; target; iseed = seed + (i * 7919) })
+
+(** Fold observations into a tally, in plan order. *)
+let tally_of_observations (obs : observation list) : tally =
   let t = tally_create () in
-  for i = 0 to n - 1 do
-    let frac = 0.1 +. (0.8 *. float_of_int i /. float_of_int (max 1 (n - 1))) in
-    let at_cycle =
-      max 1 (int_of_float (frac *. float_of_int e.golden_cycles))
-    in
-    let plan =
-      { Gpu_sim.Device.at_cycle; target; iseed = seed + (i * 7919) }
-    in
-    let o = e.run ~inject:(Some plan) in
-    if o.applied then begin
-      record t (classify o);
-      match o.latency with
-      | Some l -> t.latencies <- l :: t.latencies
-      | None -> ()
-    end
-    else t.not_applied <- t.not_applied + 1
-  done;
+  List.iter
+    (fun o ->
+      if o.applied then begin
+        record t (classify o);
+        match o.latency with
+        | Some l -> t.latencies <- l :: t.latencies
+        | None -> ()
+      end
+      else t.not_applied <- t.not_applied + 1)
+    obs;
   t
+
+(** Run [n] injections into [target]. The runs are independent (each
+    builds its own simulated device), so [map] — shaped like [List.map],
+    default [List.map] — may evaluate them in parallel, as long as it
+    preserves list order; the tally is order-insensitive anyway (counts
+    and a mean). *)
+let run ?(n = 40) ?map ~(target : Gpu_sim.Device.inject_target) ~seed
+    (e : experiment) : tally =
+  let map = match map with Some m -> m | None -> fun f xs -> List.map f xs in
+  plans ~n ~target ~seed ~golden_cycles:e.golden_cycles ()
+  |> map (fun plan -> e.run ~inject:(Some plan))
+  |> tally_of_observations
 
 (** Coverage verdict for a tally: no SDC observed. *)
 let covered t = t.sdc = 0 && tally_total t > 0

@@ -39,14 +39,33 @@ type experiment = {
 
 val classify : observation -> outcome
 
+val plans :
+  ?n:int ->
+  target:Gpu_sim.Device.inject_target ->
+  seed:int ->
+  golden_cycles:int ->
+  unit ->
+  Gpu_sim.Device.inject_plan list
+(** The campaign's [n] (default 40) injection plans: times spread over
+    the middle 80% of the fault-free execution, seeds derived from
+    [seed]. Pure, so the injected runs can be dispatched in parallel. *)
+
+val tally_of_observations : observation list -> tally
+
 val run :
   ?n:int ->
+  ?map:
+    ((Gpu_sim.Device.inject_plan -> observation) ->
+    Gpu_sim.Device.inject_plan list ->
+    observation list) ->
   target:Gpu_sim.Device.inject_target ->
   seed:int ->
   experiment ->
   tally
 (** Run [n] (default 40) injections, spread over the middle 80% of the
-    fault-free execution. *)
+    fault-free execution. The injected runs are independent; [map]
+    (default [List.map]) may run them in parallel — e.g.
+    [Harness.Pool.map] — provided it preserves list order. *)
 
 val covered : tally -> bool
 (** No SDC observed (and at least one injection applied). *)

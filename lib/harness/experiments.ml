@@ -1,44 +1,119 @@
 (** The paper's evaluation, experiment by experiment: one function per
     table and figure, each returning the regenerated content as text.
 
-    Results are cached per (benchmark, variant, overrides) within a
-    context so that figures sharing runs (2/3/4, 6/7) do not re-simulate.
-    Progress goes to stderr; the report text is the return value. *)
+    Results are cached per complete run fingerprint — (benchmark,
+    variant, scale, usage override, power window, device config) —
+    within a context, so that figures sharing runs (2/3/4, 6/7) do not
+    re-simulate. Runs execute on the context's {!Pool} of worker
+    domains: each figure first {e plans} its whole grid (submitting
+    every run it will need), then renders its report by awaiting the
+    cached futures in a fixed order, so the report text is byte-for-byte
+    identical at any [-j]. Progress goes to stderr (and may interleave
+    under [-j]); the report text is the return value. *)
 
 module T = Rmt_core.Transform
 module Run_ = Run
 module Counters = Gpu_sim.Counters
 
+(* The cache key is a complete fingerprint of every run-affecting
+   parameter [get] can pass to [Run.run]. Display tags are deliberately
+   excluded: two runs that differ only in tag are the same run, and two
+   runs that differ in any simulated parameter can never collide, no
+   matter what tags callers pass (a fig5 windowed run never shadows a
+   fig2 run of the same bench/variant). *)
+type run_key = {
+  k_bench : string;
+  k_variant : string;  (* T.name is injective over variants *)
+  k_scale : int;
+  k_usage : (int * int * int) option;  (* vgprs, sgprs, lds override *)
+  k_window : int option;
+  k_cfg : string;  (* digest of the device configuration *)
+}
+
 type ctx = {
   cfg : Gpu_sim.Config.t;
-  cache : (string, Run.summary) Hashtbl.t;
+  cfg_fp : string;
+  cache : (run_key, Run.summary Pool.future) Hashtbl.t;
+  cache_lock : Mutex.t;
+  pool : Pool.t;
   quick : bool;  (** fewer fault injections, for CI *)
 }
 
-let create_ctx ?(cfg = Gpu_sim.Config.default) ?(quick = false) () =
-  { cfg; cache = Hashtbl.create 64; quick }
+let create_ctx ?(cfg = Gpu_sim.Config.default) ?(quick = false) ?jobs () =
+  {
+    cfg;
+    cfg_fp = Digest.to_hex (Digest.string (Marshal.to_string cfg []));
+    cache = Hashtbl.create 64;
+    cache_lock = Mutex.create ();
+    pool = Pool.create ?jobs ();
+    quick;
+  }
+
+let jobs ctx = Pool.jobs ctx.pool
+let shutdown ctx = Pool.shutdown ctx.pool
+
+(* [Pool.map] over the context's pool, for callers (fault campaigns)
+   that fan independent work out without going through the run cache. *)
+let campaign_map ctx f xs = Pool.map ctx.pool f xs
 
 let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
 
-let get ctx ?(tag = "") ?(scale = 1) ?usage_override ?window_cycles
-    (bench : Kernels.Bench.t) variant : Run.summary =
-  let key =
-    Printf.sprintf "%s/%s/%s/%d" bench.id (T.name variant) tag scale
-  in
+let run_key ctx ~scale ~usage_override ~window_cycles
+    (bench : Kernels.Bench.t) variant =
+  {
+    k_bench = bench.id;
+    k_variant = T.name variant;
+    k_scale = scale;
+    k_usage =
+      Option.map
+        (fun (u : Gpu_ir.Regpressure.usage) -> (u.vgprs, u.sgprs, u.lds))
+        usage_override;
+    k_window = window_cycles;
+    k_cfg = ctx.cfg_fp;
+  }
+
+(* Look up the future for a run, submitting it to the pool on a miss.
+   The cache is mutex-guarded; the submitted task touches neither the
+   cache nor its lock (workers never submit work), so this cannot
+   deadlock even when [jobs = 1] runs the task inline. *)
+let find_or_submit ctx ?(tag = "") ?(scale = 1) ?usage_override ?window_cycles
+    (bench : Kernels.Bench.t) variant : Run.summary Pool.future =
+  let key = run_key ctx ~scale ~usage_override ~window_cycles bench variant in
+  Mutex.lock ctx.cache_lock;
   match Hashtbl.find_opt ctx.cache key with
-  | Some s -> s
+  | Some fut ->
+      Mutex.unlock ctx.cache_lock;
+      fut
   | None ->
       progress "  running %-8s %s%s" bench.id (T.name variant)
         (if tag = "" then "" else " [" ^ tag ^ "]");
-      let s =
-        Run.run ~cfg:ctx.cfg ~scale ?usage_override ?window_cycles bench variant
+      let fut =
+        Pool.submit ctx.pool (fun () ->
+            let s =
+              Run.run ~cfg:ctx.cfg ~scale ?usage_override ?window_cycles bench
+                variant
+            in
+            (if not s.verified then
+               progress "  WARNING: %s %s failed verification (%s)" bench.id
+                 (T.name variant)
+                 (Run.outcome_name s.outcome));
+            s)
       in
-      (if not s.verified then
-         progress "  WARNING: %s %s failed verification (%s)" bench.id
-           (T.name variant)
-           (Run.outcome_name s.outcome));
-      Hashtbl.add ctx.cache key s;
-      s
+      Hashtbl.add ctx.cache key fut;
+      Mutex.unlock ctx.cache_lock;
+      fut
+
+let get ctx ?tag ?scale ?usage_override ?window_cycles
+    (bench : Kernels.Bench.t) variant : Run.summary =
+  Pool.await
+    (find_or_submit ctx ?tag ?scale ?usage_override ?window_cycles bench
+       variant)
+
+let prefetch ctx ?tag ?scale ?usage_override ?window_cycles
+    (bench : Kernels.Bench.t) variant : unit =
+  ignore
+    (find_or_submit ctx ?tag ?scale ?usage_override ?window_cycles bench
+       variant)
 
 let all_benches = Kernels.Registry.all
 
@@ -69,7 +144,16 @@ let table3 () =
 (* Figure 2: Intra-Group slowdowns                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Submit a figure's whole (bench x variant) grid up front, so the pool
+   works on every run while the report loop awaits them in order. *)
+let plan ctx ?(benches = Kernels.Registry.all) variants =
+  List.iter
+    (fun (b : Kernels.Bench.t) ->
+      List.iter (fun v -> prefetch ctx b v) variants)
+    benches
+
 let fig2 ctx =
+  plan ctx [ T.Original; T.intra_plus_lds; T.intra_minus_lds ];
   let buf = Buffer.create 1024 in
   Report.heading buf
     "Figure 2: Intra-Group RMT slowdown (normalized to original kernel)";
@@ -89,6 +173,7 @@ let fig2 ctx =
 (* ------------------------------------------------------------------ *)
 
 let fig3 ctx =
+  plan ctx [ T.Original; T.intra_plus_lds; T.intra_minus_lds ];
   let buf = Buffer.create 2048 in
   Report.heading buf
     "Figure 3: VALUBusy / MemUnitBusy / WriteUnitStalled (percent of kernel time)";
@@ -144,7 +229,54 @@ let intra_variants include_lds =
   ( T.Intra { include_lds; comm = Rmt_core.Intra_group.Comm_none },
     T.Intra { include_lds; comm = Rmt_core.Intra_group.Comm_lds } )
 
+(* The original work-group geometry of a benchmark's first launch. *)
+let bench_nd ctx (b : Kernels.Bench.t) =
+  let dev = Gpu_sim.Device.create ctx.cfg in
+  (List.hd (b.prepare dev ~scale:1).Kernels.Bench.steps).Kernels.Bench.nd
+
+(* Resource inflations for the "2x work-groups" component: compile-time
+   analyses of the transformed kernels, needing only the base run. *)
+let intra_inflation_of ctx (b : Kernels.Bench.t) ~(base : Run.summary)
+    ~include_lds =
+  let nd = bench_nd ctx b in
+  let orig_items = Gpu_sim.Geom.group_items nd in
+  let _, full_v = intra_variants include_lds in
+  let rmt_usage = Gpu_ir.Regpressure.analyze (Run.transformed_kernel b full_v ~nd) in
+  Rmt_core.Ablation.intra_inflation ctx.cfg ~orig:base.Run.usage
+    ~orig_group_items:orig_items ~rmt_usage ~rmt_group_items:(orig_items * 2)
+
+let inter_inflation_of ctx (b : Kernels.Bench.t) ~(base : Run.summary) =
+  let nd = bench_nd ctx b in
+  let rmt_usage =
+    Gpu_ir.Regpressure.analyze (Run.transformed_kernel b T.inter_group ~nd)
+  in
+  Rmt_core.Ablation.inter_inflation ctx.cfg ~orig:base.Run.usage
+    ~group_items:(Gpu_sim.Geom.group_items nd) ~rmt_usage
+
 let fig4 ctx =
+  (* plan: the component-ladder runs for every bench first; the inflated
+     runs need the base run's measured usage, so they go in a second
+     pass as the bases land *)
+  List.iter
+    (fun (b : Kernels.Bench.t) ->
+      prefetch ctx b T.Original;
+      List.iter
+        (fun include_lds ->
+          let nocomm_v, full_v = intra_variants include_lds in
+          prefetch ctx b nocomm_v;
+          prefetch ctx b full_v)
+        [ true; false ])
+    all_benches;
+  List.iter
+    (fun (b : Kernels.Bench.t) ->
+      let base = get ctx b T.Original in
+      List.iter
+        (fun include_lds ->
+          match intra_inflation_of ctx b ~base ~include_lds with
+          | Some u -> prefetch ctx ~tag:"inflate" ~usage_override:u b T.Original
+          | None -> ())
+        [ true; false ])
+    all_benches;
   let buf = Buffer.create 2048 in
   Report.heading buf
     "Figure 4: Intra-Group overhead components (added slowdown over original)";
@@ -153,21 +285,10 @@ let fig4 ctx =
   List.iter
     (fun (b : Kernels.Bench.t) ->
       let base = get ctx b T.Original in
-      let nd =
-        let dev = Gpu_sim.Device.create ctx.cfg in
-        (List.hd (b.prepare dev ~scale:1).Kernels.Bench.steps).Kernels.Bench.nd
-      in
-      let orig_items = Gpu_sim.Geom.group_items nd in
       List.iter
         (fun include_lds ->
           let nocomm_v, full_v = intra_variants include_lds in
-          let rmt_kernel = Run.transformed_kernel b full_v ~nd in
-          let rmt_usage = Gpu_ir.Regpressure.analyze rmt_kernel in
-          let inflation =
-            Rmt_core.Ablation.intra_inflation ctx.cfg ~orig:base.Run.usage
-              ~orig_group_items:orig_items ~rmt_usage
-              ~rmt_group_items:(orig_items * 2)
-          in
+          let inflation = intra_inflation_of ctx b ~base ~include_lds in
           let c0, c1, c2, _ =
             components ctx b ~base ~inflation ~nocomm_variant:nocomm_v
               ~full_variant:full_v
@@ -183,6 +304,15 @@ let fig4 ctx =
   Buffer.contents buf
 
 let fig7 ctx =
+  (* plan: ladder runs, then the usage-dependent inflated runs *)
+  plan ctx [ T.Original; T.Inter { comm = false }; T.inter_group ];
+  List.iter
+    (fun (b : Kernels.Bench.t) ->
+      let base = get ctx b T.Original in
+      match inter_inflation_of ctx b ~base with
+      | Some u -> prefetch ctx ~tag:"inflate" ~usage_override:u b T.Original
+      | None -> ())
+    all_benches;
   let buf = Buffer.create 2048 in
   Report.heading buf
     "Figure 7: Inter-Group overhead components (added slowdown over original)";
@@ -191,17 +321,7 @@ let fig7 ctx =
   List.iter
     (fun (b : Kernels.Bench.t) ->
       let base = get ctx b T.Original in
-      let nd =
-        let dev = Gpu_sim.Device.create ctx.cfg in
-        (List.hd (b.prepare dev ~scale:1).Kernels.Bench.steps).Kernels.Bench.nd
-      in
-      let items = Gpu_sim.Geom.group_items nd in
-      let rmt_kernel = Run.transformed_kernel b T.inter_group ~nd in
-      let rmt_usage = Gpu_ir.Regpressure.analyze rmt_kernel in
-      let inflation =
-        Rmt_core.Ablation.inter_inflation ctx.cfg ~orig:base.Run.usage
-          ~group_items:items ~rmt_usage
-      in
+      let inflation = inter_inflation_of ctx b ~base in
       let c0, c1, c2, starred =
         components ctx b ~base ~inflation
           ~nocomm_variant:(T.Inter { comm = false })
@@ -227,8 +347,16 @@ let fig7 ctx =
    the sampling window is scaled down with them; BlkSch additionally runs
    at a larger input scale to span several windows. *)
 let fig5_window = 2_000
+let fig5_kernels = [ ("BO", 1); ("BlkSch", 8); ("FW", 1) ]
 
 let fig5 ctx =
+  List.iter
+    (fun (id, scale) ->
+      let b = Kernels.Registry.find id in
+      List.iter
+        (fun v -> prefetch ctx ~tag:"pw" ~scale ~window_cycles:fig5_window b v)
+        [ T.Original; T.intra_plus_lds; T.intra_minus_lds ])
+    fig5_kernels;
   let buf = Buffer.create 1024 in
   Report.heading buf
     "Figure 5: average (and peak) estimated power, long-running kernels";
@@ -246,7 +374,7 @@ let fig5 ctx =
           Report.row buf "%-8s %-10s %10.1f W %8.1f W" b.id name rep.average_w
             rep.peak_w)
         [ (T.Original, "Original"); (T.intra_plus_lds, "LDS+"); (T.intra_minus_lds, "LDS-") ])
-    [ ("BO", 1); ("BlkSch", 8); ("FW", 1) ];
+    fig5_kernels;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -254,6 +382,7 @@ let fig5 ctx =
 (* ------------------------------------------------------------------ *)
 
 let fig6 ctx =
+  plan ctx [ T.Original; T.inter_group ];
   let buf = Buffer.create 1024 in
   Report.heading buf
     "Figure 6: Inter-Group RMT slowdown (normalized to original kernel)";
@@ -307,6 +436,11 @@ let fig8 () =
 (* ------------------------------------------------------------------ *)
 
 let fig9 ctx =
+  plan ctx
+    [
+      T.Original; T.intra_plus_lds; T.intra_plus_lds_fast; T.intra_minus_lds;
+      T.intra_minus_lds_fast;
+    ];
   let buf = Buffer.create 1024 in
   Report.heading buf
     "Figure 9: Intra-Group RMT with FAST (VRF swizzle) communication";
@@ -347,7 +481,18 @@ let coverage_experiment ctx (b : Kernels.Bench.t) variant : Fault.Campaign.exper
     golden_cycles = golden.Run.cycles;
   }
 
+let coverage_variants =
+  [
+    (T.Original, "Original");
+    (T.intra_plus_lds, "Intra+LDS");
+    (T.intra_minus_lds, "Intra-LDS");
+    (T.inter_group, "Inter");
+  ]
+
 let coverage ctx =
+  plan ctx
+    ~benches:(List.map Kernels.Registry.find coverage_benches)
+    (List.map fst coverage_variants);
   let buf = Buffer.create 2048 in
   Report.heading buf
     "Fault-injection coverage campaigns (empirical check of Tables 2/3)";
@@ -367,7 +512,10 @@ let coverage ctx =
           List.iter
             (fun (target, tname) ->
               progress "  injecting %-8s %-16s %s" b.id name tname;
-              let t = Fault.Campaign.run ~n ~target ~seed:1234 e in
+              let t =
+                Fault.Campaign.run ~n ~map:(Pool.map ctx.pool) ~target
+                  ~seed:1234 e
+              in
               Report.row buf "%-8s %-12s %-6s %s%s" b.id name tname
                 (Fault.Campaign.tally_to_string t)
                 (if Fault.Campaign.covered t then "  [covered]" else ""))
@@ -377,12 +525,7 @@ let coverage ctx =
               (Gpu_sim.Device.T_lds, "LDS");
               (Gpu_sim.Device.T_l1, "L1");
             ])
-        [
-          (T.Original, "Original");
-          (T.intra_plus_lds, "Intra+LDS");
-          (T.intra_minus_lds, "Intra-LDS");
-          (T.inter_group, "Inter");
-        ])
+        coverage_variants)
     coverage_benches;
   Buffer.contents buf
 
@@ -411,6 +554,18 @@ let all ctx =
 (* ------------------------------------------------------------------ *)
 
 let opt_ablation ctx =
+  (* optimized runs bypass the cache (the fingerprint has no [optimize]
+     axis, and nothing else reuses them) but still fan out on the pool *)
+  plan ctx [ T.Original; T.intra_plus_lds ];
+  let opt_futures =
+    List.map
+      (fun (b : Kernels.Bench.t) ->
+        progress "  running %-8s %s [optimized]" b.id (T.name T.intra_plus_lds);
+        ( b,
+          Pool.submit ctx.pool (fun () ->
+              Run.run ~cfg:ctx.cfg ~optimize:true b T.intra_plus_lds) ))
+      all_benches
+  in
   let buf = Buffer.create 1024 in
   Report.heading buf
     "Extension: optimizer ablation — Intra-Group+LDS slowdown and VGPR \
@@ -418,18 +573,17 @@ let opt_ablation ctx =
   Report.row buf "%-8s %10s %10s %12s %12s" "kernel" "unopt" "optimized"
     "VGPRs unopt" "VGPRs opt";
   List.iter
-    (fun (b : Kernels.Bench.t) ->
+    (fun ((b : Kernels.Bench.t), fut) ->
       let base = get ctx b T.Original in
       let rmt = get ctx b T.intra_plus_lds in
-      progress "  running %-8s %s [optimized]" b.id (T.name T.intra_plus_lds);
-      let opt = Run.run ~cfg:ctx.cfg ~optimize:true b T.intra_plus_lds in
+      let opt = Pool.await fut in
       if not opt.Run.verified then
         progress "  WARNING: optimized %s failed verification" b.id;
       Report.row buf "%-8s %9.2fx %9.2fx %12d %12d" b.id
         (Run.slowdown ~base rmt) (Run.slowdown ~base opt)
         rmt.Run.usage.Gpu_ir.Regpressure.vgprs
         opt.Run.usage.Gpu_ir.Regpressure.vgprs)
-    all_benches;
+    opt_futures;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -512,18 +666,30 @@ let tmr ctx =
   (* fault response: inject VGPR flips, compare dispositions *)
   let n_inj = if ctx.quick then 10 else 30 in
   let tally flavor =
+    (* independent injected runs: fan out on the pool, fold in order *)
+    let runs =
+      List.init n_inj (fun i -> i + 1)
+      |> List.map (fun seed ->
+             progress "  injecting tmr-study seed %d" seed;
+             Pool.submit ctx.pool (fun () ->
+                 let inject =
+                   {
+                     Gpu_sim.Device.at_cycle = 50 + (seed * 41);
+                     target = Gpu_sim.Device.T_vgpr;
+                     iseed = seed;
+                   }
+                 in
+                 tmr_run_once ~flavor ~inject ()))
+      |> List.map Pool.await
+    in
     let aborted = ref 0 and correct = ref 0 and sdc = ref 0 and other = ref 0 in
-    for seed = 1 to n_inj do
-      progress "  injecting tmr-study seed %d" seed;
-      let inject =
-        { Gpu_sim.Device.at_cycle = 50 + (seed * 41); target = Gpu_sim.Device.T_vgpr; iseed = seed }
-      in
-      let r = tmr_run_once ~flavor ~inject () in
-      match r.t_outcome with
-      | Gpu_sim.Device.Detected -> incr aborted
-      | Gpu_sim.Device.Finished -> if r.t_ok then incr correct else incr sdc
-      | Gpu_sim.Device.Crashed _ | Gpu_sim.Device.Hung -> incr other
-    done;
+    List.iter
+      (fun r ->
+        match r.t_outcome with
+        | Gpu_sim.Device.Detected -> incr aborted
+        | Gpu_sim.Device.Finished -> if r.t_ok then incr correct else incr sdc
+        | Gpu_sim.Device.Crashed _ | Gpu_sim.Device.Hung -> incr other)
+      runs;
     (!aborted, !correct, !sdc, !other)
   in
   let da, dc, ds, do_ = tally `Dmr in
@@ -550,21 +716,26 @@ let wavesize ctx =
   Report.heading buf
     "Extension: Intra-Group+LDS slowdown vs wavefront size";
   Report.row buf "%-8s %8s %8s %8s" "kernel" "wave=64" "wave=32" "wave=16";
-  let slowdown_at ws (b : Kernels.Bench.t) =
-    let cfg = { ctx.cfg with Gpu_sim.Config.wave_size = ws } in
+  let submit_slowdown_at ws (b : Kernels.Bench.t) =
     progress "  running %-8s wave=%d" b.id ws;
-    let base = Run.run ~cfg b T.Original in
-    let rmt = Run.run ~cfg b T.intra_plus_lds in
-    if not (base.Run.verified && rmt.Run.verified) then
-      progress "  WARNING: %s wave=%d failed verification" b.id ws;
-    Run.slowdown ~base rmt
+    Pool.submit ctx.pool (fun () ->
+        let cfg = { ctx.cfg with Gpu_sim.Config.wave_size = ws } in
+        let base = Run.run ~cfg b T.Original in
+        let rmt = Run.run ~cfg b T.intra_plus_lds in
+        if not (base.Run.verified && rmt.Run.verified) then
+          progress "  WARNING: %s wave=%d failed verification" b.id ws;
+        Run.slowdown ~base rmt)
   in
-  List.iter
+  List.map
     (fun id ->
       let b = Kernels.Registry.find id in
-      Report.row buf "%-8s %7.2fx %7.2fx %7.2fx" b.id (slowdown_at 64 b)
-        (slowdown_at 32 b) (slowdown_at 16 b))
-    [ "BinS"; "BlkSch"; "DWT"; "R"; "SF"; "URNG" ];
+      (b, List.map (fun ws -> submit_slowdown_at ws b) [ 64; 32; 16 ]))
+    [ "BinS"; "BlkSch"; "DWT"; "R"; "SF"; "URNG" ]
+  |> List.iter (fun ((b : Kernels.Bench.t), cells) ->
+         match List.map Pool.await cells with
+         | [ s64; s32; s16 ] ->
+             Report.row buf "%-8s %7.2fx %7.2fx %7.2fx" b.id s64 s32 s16
+         | _ -> assert false);
   Report.row buf
     "(on this device model smaller wavefronts mostly RAISE Intra-Group";
   Report.row buf
@@ -585,6 +756,7 @@ let wavesize ctx =
 (* ------------------------------------------------------------------ *)
 
 let explain ctx =
+  plan ctx [ T.Original; T.intra_plus_lds ];
   let buf = Buffer.create 4096 in
   Report.heading buf
     "Per-kernel diagnosis (the paper's Section 6.4 methodology, applied \
@@ -648,6 +820,14 @@ let all_paper = all
 (* ------------------------------------------------------------------ *)
 
 let naive ctx =
+  plan ctx [ T.Original; T.intra_plus_lds; T.inter_group ];
+  let naive_futures =
+    List.map
+      (fun (b : Kernels.Bench.t) ->
+        progress "  running %-8s naive duplication" b.id;
+        (b, Pool.submit ctx.pool (fun () -> Run.run_naive_duplication ~cfg:ctx.cfg b)))
+      all_benches
+  in
   let buf = Buffer.create 1024 in
   Report.heading buf
     "Extension: naive full duplication (two launches + host compare) vs \
@@ -655,17 +835,16 @@ let naive ctx =
   Report.row buf "%-8s %8s %10s %8s  %s" "kernel" "naive" "Intra+LDS" "Inter"
     "";
   List.iter
-    (fun (b : Kernels.Bench.t) ->
+    (fun ((b : Kernels.Bench.t), fut) ->
       let base = get ctx b T.Original in
-      progress "  running %-8s naive duplication" b.id;
-      let nv = Run.run_naive_duplication ~cfg:ctx.cfg b in
+      let nv = Pool.await fut in
       let intra = get ctx b T.intra_plus_lds in
       let inter = get ctx b T.inter_group in
       Report.row buf "%-8s %7.2fx %9.2fx %7.2fx" b.id
         (Run.slowdown ~base nv)
         (Run.slowdown ~base intra)
         (Run.slowdown ~base inter))
-    all_benches;
+    naive_futures;
   Report.row buf "";
   Report.row buf
     "naive duplication pays ~2x everywhere and checks only after kernel";
@@ -689,24 +868,29 @@ let schedpolicy ctx =
      Intra-Group+LDS";
   Report.row buf "%-8s %12s %12s %14s %14s" "kernel" "greedy base"
     "greedy RMT" "round-robin" "rr RMT";
-  List.iter
+  List.map
     (fun id ->
       let b = Kernels.Registry.find id in
-      let run policy variant =
-        let cfg = { ctx.cfg with Gpu_sim.Config.sched_policy = policy } in
+      let submit_run policy variant =
         progress "  running %-8s %s [%s]" b.id (T.name variant)
           (match policy with
           | Gpu_sim.Config.Greedy -> "greedy"
           | Gpu_sim.Config.Round_robin -> "rr");
-        Run.run ~cfg b variant
+        Pool.submit ctx.pool (fun () ->
+            let cfg = { ctx.cfg with Gpu_sim.Config.sched_policy = policy } in
+            Run.run ~cfg b variant)
       in
-      let gb = run Gpu_sim.Config.Greedy T.Original in
-      let gr = run Gpu_sim.Config.Greedy T.intra_plus_lds in
-      let rb = run Gpu_sim.Config.Round_robin T.Original in
-      let rr = run Gpu_sim.Config.Round_robin T.intra_plus_lds in
-      Report.row buf "%-8s %11dc %11.2fx %13dc %13.2fx" b.id gb.Run.cycles
-        (Run.slowdown ~base:gb gr) rb.Run.cycles (Run.slowdown ~base:rb rr))
-    [ "BO"; "MM"; "R"; "SC"; "SF" ];
+      ( b,
+        submit_run Gpu_sim.Config.Greedy T.Original,
+        submit_run Gpu_sim.Config.Greedy T.intra_plus_lds,
+        submit_run Gpu_sim.Config.Round_robin T.Original,
+        submit_run Gpu_sim.Config.Round_robin T.intra_plus_lds ))
+    [ "BO"; "MM"; "R"; "SC"; "SF" ]
+  |> List.iter (fun ((b : Kernels.Bench.t), gb, gr, rb, rr) ->
+         let gb = Pool.await gb and gr = Pool.await gr in
+         let rb = Pool.await rb and rr = Pool.await rr in
+         Report.row buf "%-8s %11dc %11.2fx %13dc %13.2fx" b.id gb.Run.cycles
+           (Run.slowdown ~base:gb gr) rb.Run.cycles (Run.slowdown ~base:rb rr));
   Report.row buf
     "(the paper attributes some accidental RMT speedups to the greedy";
   Report.row buf
@@ -760,6 +944,7 @@ let spearman xs ys =
   cov /. (sd rx mx *. sd ry my)
 
 let paper_compare ctx =
+  plan ctx [ T.Original; T.intra_plus_lds; T.inter_group ];
   let buf = Buffer.create 2048 in
   Report.heading buf
     "Shape check: measured slowdowns vs values read off the paper's figures";
@@ -805,6 +990,11 @@ let write_csv dir name header rows =
     report of what was written. *)
 let export ?(dir = "results") ?(benches = all_benches) ctx =
   let all_benches = benches in
+  plan ctx ~benches
+    [
+      T.Original; T.intra_plus_lds; T.intra_minus_lds; T.intra_plus_lds_fast;
+      T.intra_minus_lds_fast; T.inter_group;
+    ];
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let buf = Buffer.create 512 in
   Report.heading buf ("CSV export to " ^ dir ^ "/");
@@ -874,6 +1064,8 @@ let export ?(dir = "results") ?(benches = all_benches) ctx =
 (* ------------------------------------------------------------------ *)
 
 let occupancy ctx =
+  plan ctx
+    [ T.Original; T.intra_plus_lds; T.intra_minus_lds; T.inter_group ];
   let buf = Buffer.create 2048 in
   Report.heading buf
     "Occupancy: work-groups per CU and the binding resource, per version";
@@ -1001,20 +1193,29 @@ let devscale ctx =
     "Extension: RMT cost vs device size (12 CUs / 96 B-per-cycle DRAM      against 32 CUs / 160 B-per-cycle)";
   Report.row buf "%-8s %12s %12s %12s %12s" "kernel" "small intra"
     "big intra" "small inter" "big inter";
-  List.iter
+  List.map
     (fun id ->
       let b = Kernels.Registry.find id in
-      let slow cfg variant =
+      let submit_slow cfg variant =
         progress "  running %-8s %s [%d CUs]" b.id (T.name variant)
           cfg.Gpu_sim.Config.n_cus;
-        let base = Run.run ~cfg ~scale:2 b T.Original in
-        Run.slowdown ~base (Run.run ~cfg ~scale:2 b variant)
+        Pool.submit ctx.pool (fun () ->
+            let base = Run.run ~cfg ~scale:2 b T.Original in
+            Run.slowdown ~base (Run.run ~cfg ~scale:2 b variant))
       in
       let small = ctx.cfg and big = big_cfg ctx.cfg in
-      Report.row buf "%-8s %11.2fx %11.2fx %11.2fx %11.2fx" b.id
-        (slow small T.intra_plus_lds) (slow big T.intra_plus_lds)
-        (slow small T.inter_group) (slow big T.inter_group))
-    [ "BinS"; "BlkSch"; "FWT"; "R"; "SF" ];
+      ( b,
+        [
+          submit_slow small T.intra_plus_lds; submit_slow big T.intra_plus_lds;
+          submit_slow small T.inter_group; submit_slow big T.inter_group;
+        ] ))
+    [ "BinS"; "BlkSch"; "FWT"; "R"; "SF" ]
+  |> List.iter (fun ((b : Kernels.Bench.t), cells) ->
+         match List.map Pool.await cells with
+         | [ si; bi; sg; bg ] ->
+             Report.row buf "%-8s %11.2fx %11.2fx %11.2fx %11.2fx" b.id si bi
+               sg bg
+         | _ -> assert false);
   Report.row buf
     "(more CUs per byte of DRAM bandwidth squeeze the memory-bound";
   Report.row buf

@@ -1,12 +1,31 @@
 (** The paper's evaluation, experiment by experiment — one function per
     table and figure plus the extension studies, each returning its
-    regenerated content as text. Results are cached per (benchmark,
-    variant, overrides) within a context; progress goes to stderr. *)
+    regenerated content as text.
+
+    Runs are cached per complete fingerprint (benchmark, variant, scale,
+    usage override, power window, device config) and executed on the
+    context's {!Pool} of worker domains: each figure plans its whole run
+    grid up front, then renders by awaiting the cached results in a
+    fixed order. Report text is therefore byte-identical at any worker
+    count; only stderr progress lines may interleave. *)
 
 type ctx
 
-val create_ctx : ?cfg:Gpu_sim.Config.t -> ?quick:bool -> unit -> ctx
-(** [quick] shrinks the fault campaigns (CI use). *)
+val create_ctx :
+  ?cfg:Gpu_sim.Config.t -> ?quick:bool -> ?jobs:int -> unit -> ctx
+(** [quick] shrinks the fault campaigns (CI use). [jobs] sizes the
+    worker-domain pool (default [$RMTGPU_JOBS], else
+    {!Domain.recommended_domain_count}; [1] = sequential, in-process). *)
+
+val jobs : ctx -> int
+(** Worker-domain count of the context's pool. *)
+
+val shutdown : ctx -> unit
+(** Stop and join the context's worker domains (also done [at_exit]). *)
+
+val campaign_map : ctx -> ('a -> 'b) -> 'a list -> 'b list
+(** {!Pool.map} over the context's pool — submission-ordered parallel
+    map, suitable as the [map] argument of {!Fault.Campaign.run}. *)
 
 val get :
   ctx ->
@@ -17,7 +36,22 @@ val get :
   Kernels.Bench.t ->
   Rmt_core.Transform.variant ->
   Run.summary
-(** Cached {!Run.run}. *)
+(** Cached {!Run.run}: submits the run to the pool on a cache miss and
+    awaits it. The cache key fingerprints every run-affecting parameter
+    ([tag] is display-only and deliberately excluded). *)
+
+val prefetch :
+  ctx ->
+  ?tag:string ->
+  ?scale:int ->
+  ?usage_override:Gpu_ir.Regpressure.usage ->
+  ?window_cycles:int ->
+  Kernels.Bench.t ->
+  Rmt_core.Transform.variant ->
+  unit
+(** Plan step: like {!get} but without awaiting — submits the run (if
+    not already cached) so it executes while the caller plans or renders
+    other work. *)
 
 (** {1 The paper's tables and figures} *)
 

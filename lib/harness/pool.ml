@@ -1,0 +1,140 @@
+(** Fixed-size domain pool for embarrassingly parallel simulation work.
+
+    The experiment grid is a set of independent [Run.run] calls: every
+    run builds its own {!Gpu_sim.Device} and shares no mutable state
+    with any other. The pool runs such closures on OCaml 5 worker
+    domains fed from a mutex/condition work queue, and hands each
+    submission a {!type:future} so callers collect results in
+    submission order — which is what keeps parallel report text
+    byte-identical to the sequential text.
+
+    Determinism contract: a task's [result] depends only on its closure
+    (never on scheduling), futures are awaited in submission order, and
+    with [jobs = 1] no domain is spawned at all — tasks execute inline
+    at submission, reproducing the sequential harness exactly. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a state;
+}
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let env_var = "RMTGPU_JOBS"
+
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          Printf.eprintf "warning: ignoring invalid %s=%S\n%!" env_var s;
+          Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Workers drain the queue even while stopping, so every submitted
+   future still resolves and no await can hang across a shutdown. *)
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.work_ready pool.lock
+    done;
+    match Queue.take_opt pool.queue with
+    | None -> Mutex.unlock pool.lock
+    | Some task ->
+        Mutex.unlock pool.lock;
+        task ();
+        loop ()
+  in
+  loop ()
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let workers = pool.workers in
+  pool.workers <- [];
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join workers
+
+let create ?jobs () =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then begin
+    pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker pool));
+    (* a straggler pool (e.g. in a test that never calls [shutdown])
+       must not leave domains blocked in Condition.wait at exit *)
+    at_exit (fun () -> shutdown pool)
+  end;
+  pool
+
+let jobs pool = pool.jobs
+
+let submit pool f =
+  let fut =
+    { f_lock = Mutex.create (); f_cond = Condition.create (); f_state = Pending }
+  in
+  let task () =
+    let r =
+      try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.f_lock;
+    fut.f_state <- r;
+    Condition.broadcast fut.f_cond;
+    Mutex.unlock fut.f_lock
+  in
+  if pool.jobs <= 1 then task ()
+  else begin
+    Mutex.lock pool.lock;
+    if pool.stopping then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push task pool.queue;
+    Condition.signal pool.work_ready;
+    Mutex.unlock pool.lock
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.f_lock;
+  let rec settled () =
+    match fut.f_state with
+    | Pending ->
+        Condition.wait fut.f_cond fut.f_lock;
+        settled ()
+    | s -> s
+  in
+  let s = settled () in
+  Mutex.unlock fut.f_lock;
+  match s with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let map pool f xs =
+  let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
+  List.map await futures

@@ -1,0 +1,45 @@
+(** Fixed-size domain pool with a mutex/condition work queue and
+    deterministic, submission-ordered result collection.
+
+    Tasks must be independent closures (each [Run.run] builds its own
+    device); results are collected through futures, so report text built
+    from them is byte-identical whatever the worker interleaving. With
+    [jobs = 1] no domain is spawned and tasks run inline at submission,
+    reproducing the sequential harness exactly. *)
+
+type t
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+val env_var : string
+(** ["RMTGPU_JOBS"] — overrides the default worker count. *)
+
+val default_jobs : unit -> int
+(** [$RMTGPU_JOBS] when set to a positive integer, otherwise
+    {!Domain.recommended_domain_count}. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs},
+    clamped to at least 1). [jobs = 1] spawns nothing: submissions run
+    inline, in the caller's domain. *)
+
+val jobs : t -> int
+(** The pool's worker count (1 = sequential). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Tasks must not themselves [submit]-and-{!await} on
+    the same pool (workers never spawn work, so that could deadlock). *)
+
+val await : 'a future -> 'a
+(** Block until the task finishes; re-raises (with its backtrace) any
+    exception the task raised on its worker domain. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] runs [f] over [xs] on the pool and returns results
+    in submission (= list) order. If several tasks raise, the exception
+    of the earliest-submitted failing task is re-raised. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the workers. Idempotent; pools with
+    [jobs > 1] are also shut down automatically [at_exit]. *)

@@ -100,7 +100,7 @@ let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
          | _ -> ());
          cycles := !cycles + r.Device.cycles;
          Counters.accumulate ~into:total r.Device.counters;
-         windows := !windows @ Array.to_list r.Device.windows;
+         windows := List.rev_append (Array.to_list r.Device.windows) !windows;
          occupancy := Some r.Device.occupancy;
          usage := Some r.Device.usage;
          match r.Device.outcome with
@@ -119,7 +119,7 @@ let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
     variant;
     cycles = !cycles;
     counters = total;
-    windows = Array.of_list !windows;
+    windows = Array.of_list (List.rev !windows);
     outcome = !outcome;
     verified;
     occupancy =
@@ -132,9 +132,18 @@ let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
     detection_latency = !latency;
   }
 
-(** Slowdown of [v] relative to [base] (runtimes in cycles). *)
+(** Slowdown of [v] relative to [base] (runtimes in cycles). A
+    zero-cycle baseline means the base run never executed — report the
+    broken run instead of a quietly absurd ratio. *)
 let slowdown ~(base : summary) (v : summary) =
-  float_of_int v.cycles /. float_of_int (max 1 base.cycles)
+  if base.cycles <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Run.slowdown: baseline %s/%s ran for %d cycles (broken run)"
+         base.bench_id
+         (Transform.name base.variant)
+         base.cycles);
+  float_of_int v.cycles /. float_of_int base.cycles
 
 (** Naive full duplication (paper Section 3.4): the host launches the
     whole kernel (sequence) twice and compares outputs itself. The

@@ -48,3 +48,6 @@ val run_naive_duplication :
     checks afterwards. Only timing is modelled. *)
 
 val slowdown : base:summary -> summary -> float
+(** Cycles of the second run over cycles of [base].
+    @raise Invalid_argument if [base] ran for 0 cycles (a broken run —
+    a ratio against it would silently report near-free slowdowns). *)

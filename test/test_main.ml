@@ -9,6 +9,7 @@ let () =
       ("power", Test_power.suite);
       ("kernels", Test_kernels.suite);
       ("harness", Test_harness.suite);
+      ("parallel", Test_parallel.suite);
       ("opt", Test_opt.suite);
       ("parse", Test_parse.suite);
       ("tmr", Test_tmr.suite);
