@@ -15,7 +15,13 @@
     Independent simulations run on a pool of OCaml domains; -j N (or
     RMTGPU_JOBS) sets the worker count, defaulting to the machine's
     recommended domain count. Report text is byte-identical at any -j;
-    only stderr progress lines may interleave. *)
+    only stderr progress lines may interleave.
+
+    Besides the report text, a machine-readable perf-trajectory file
+    [BENCH_<rev>.json] is written (wall-clock seconds per experiment,
+    the simulated counters of every completed run, pool statistics) so
+    future revisions can diff against this one. RMTGPU_BENCH_OUT
+    overrides the path; RMTGPU_REV overrides the revision stamp. *)
 
 module T = Rmt_core.Transform
 
@@ -209,11 +215,35 @@ let () =
       if selected = [] then experiments
       else List.filter (fun (n, _) -> List.mem n selected) experiments
     in
-    List.iter
-      (fun (name, f) ->
-        Printf.eprintf "[bench] %s\n%!" name;
-        print_string (f c))
-      to_run;
+    let timings =
+      List.map
+        (fun (name, f) ->
+          Printf.eprintf "[bench] %s\n%!" name;
+          let t0 = Unix.gettimeofday () in
+          print_string (f c);
+          (name, Unix.gettimeofday () -. t0))
+        to_run
+    in
+    (* Perf-trajectory file: every simulated run that completed, labelled
+       and sorted, plus per-experiment wall clock and pool statistics. *)
+    let rev = Harness.Metrics.rev () in
+    let out =
+      match Sys.getenv_opt "RMTGPU_BENCH_OUT" with
+      | Some p when String.trim p <> "" -> p
+      | _ -> Printf.sprintf "BENCH_%s.json" rev
+    in
+    let doc =
+      Harness.Metrics.bench_json ~rev
+        ~jobs:(Harness.Experiments.jobs c)
+        ~experiments:timings
+        ~runs:(Harness.Experiments.cached_summaries c)
+        ~pool:(Harness.Experiments.pool_stats c)
+    in
+    Harness.Metrics.write_file out doc;
+    Printf.eprintf "[bench] wrote %s\n%!" out;
+    if Harness.Experiments.jobs c > 1 then
+      Printf.eprintf "[bench] pool: %s\n%!"
+        (Harness.Experiments.pool_stats_line c);
     Harness.Experiments.shutdown c;
     (* the full run ends with the micro section *)
     if selected = [] then run_micro ()

@@ -4,6 +4,8 @@
      list                        list benchmarks
      dump    <bench> [variant]   print the (transformed) kernel IR
      run     <bench> [variant]   simulate and report cycles/counters
+     trace   <bench> [variant]   simulate with the trace sink attached and
+                                 write a Chrome-trace JSON + ASCII timeline
      inject  <bench> <variant> <target> [n]  fault-injection campaign
      exp     <name>              regenerate one table/figure (table1..fig9,
                                  coverage, all) *)
@@ -103,6 +105,47 @@ let do_run (b : Kernels.Bench.t) variant scale =
     Gpu_power.Power_model.report ~cfg ~windows:s.windows ~fallback:s.counters ()
   in
   Printf.printf "power: avg %.1f W, peak %.1f W\n" rep.average_w rep.peak_w
+
+(* ---------------- trace ---------------- *)
+
+let sanitize_id s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    s
+
+let do_trace (b : Kernels.Bench.t) variant scale out width =
+  let collector = Gpu_trace.Sink.collector () in
+  let sink = Gpu_trace.Sink.of_collector collector in
+  let s = Harness.Run.run ~scale ~trace:sink b variant in
+  let records = Gpu_trace.Sink.records collector in
+  let cfg = Gpu_sim.Config.default in
+  let out =
+    match out with
+    | Some p -> p
+    | None ->
+        Printf.sprintf "trace_%s_%s.json" (sanitize_id b.id)
+          (sanitize_id (T.name variant))
+  in
+  let label = Printf.sprintf "%s under %s" b.id (T.name variant) in
+  let json = Gpu_trace.Chrome.to_string ~label records in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "%s under %s: %d cycles over %d launches (%s, verified=%b)\n"
+    b.id (T.name variant) s.cycles s.steps
+    (Harness.Run.outcome_name s.outcome)
+    s.verified;
+  Printf.printf "%d scheduler events -> %s (load in chrome://tracing or \
+                 ui.perfetto.dev)\n\n" (Gpu_trace.Sink.count collector) out;
+  print_string
+    (Gpu_trace.Timeline.render ~n_cus:cfg.n_cus ~simds_per_cu:cfg.simds_per_cu
+       ~cycles:s.cycles ~width records);
+  let c = s.counters in
+  Printf.printf "\nstalls: write_stalled=%d cycles, spin_iterations=%d polls\n"
+    c.Gpu_sim.Counters.write_stalled c.Gpu_sim.Counters.spin_iterations
 
 (* ---------------- inject ---------------- *)
 
@@ -283,6 +326,10 @@ let do_exp name quick jobs =
   match List.assoc_opt name table with
   | Some f ->
       let text = f () in
+      (* Pool observability goes to stderr: report text on stdout must stay
+         byte-identical at any -j. *)
+      if Harness.Experiments.jobs ctx > 1 then
+        Printf.eprintf "pool: %s\n%!" (Harness.Experiments.pool_stats_line ctx);
       Harness.Experiments.shutdown ctx;
       print_string text;
       `Ok ()
@@ -346,6 +393,38 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Simulate a benchmark under an RMT variant")
     Term.(const run $ verbose_flag $ bench_arg $ variant_arg ~pos:1 $ scale)
 
+let trace_cmd =
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem-size multiplier")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Chrome-trace JSON output path (default: \
+             $(b,trace_<bench>_<variant>.json))")
+  in
+  let width =
+    Arg.(
+      value & opt int 64
+      & info [ "width" ] ~docv:"COLS"
+          ~doc:"Columns of the ASCII per-CU utilization timeline")
+  in
+  let trace verbose b v s o w =
+    setup_logs verbose;
+    do_trace b v s o w
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate with the scheduler trace sink attached; write a \
+          Chrome-trace (Perfetto) JSON and print an ASCII per-CU timeline")
+    Term.(
+      const trace $ verbose_flag $ bench_arg $ variant_arg ~pos:1 $ scale $ out
+      $ width)
+
 let inject_cmd =
   let variant =
     Arg.(required & pos 1 (some variant_conv) None & info [] ~docv:"VARIANT")
@@ -392,4 +471,5 @@ let () =
       ~doc:"Compiler-managed GPU redundant multithreading (ISCA 2014) reproduction"
   in
   exit (Cmd.eval (Cmd.group info
-          [ list_cmd; dump_cmd; run_cmd; inject_cmd; exp_cmd; runfile_cmd ]))
+          [ list_cmd; dump_cmd; run_cmd; trace_cmd; inject_cmd; exp_cmd;
+            runfile_cmd ]))

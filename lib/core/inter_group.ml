@@ -117,10 +117,13 @@ let transform (opts : opts) (k : kernel) : kernel =
   let val_addr = Emit.mad e slot (Emit.imm 4) val_base in
   let prelude = Emit.take e in
   (* ---- store guarding ---- *)
+  (* Flag polls are emitted as [A_poll] — functionally the [atomic_add 0]
+     L2-visible read, but tagged so the device charges each iteration to
+     [Counters.spin_iterations] rather than to useful memory work. *)
   let spin want =
     Emit.while_ e
       (fun () ->
-        let t = Emit.atomic e A_add Global flag_addr (Emit.imm 0) in
+        let t = Emit.atomic e A_poll Global flag_addr (Emit.imm 0) in
         Emit.ne e t (Emit.imm want))
       (fun () -> ())
   in
@@ -165,7 +168,7 @@ let transform (opts : opts) (k : kernel) : kernel =
         Emit.while_ e
           (fun () -> Emit.eq e (Reg dcell) (Emit.imm 0))
           (fun () ->
-            let t = Emit.atomic e A_add Global tag_a (Emit.imm 0) in
+            let t = Emit.atomic e A_poll Global tag_a (Emit.imm 0) in
             Emit.when_ e (Emit.eq e t my_tag) (fun () ->
                 let a2 = Emit.atomic e A_add Global addr_a (Emit.imm 0) in
                 let v2 = Emit.atomic e A_add Global val_a (Emit.imm 0) in

@@ -162,6 +162,40 @@ let accumulate ~(into : t) (c : t) =
   into.waves_launched <- into.waves_launched + c.waves_launched;
   into.groups_launched <- into.groups_launched + c.groups_launched
 
+(** Every counter as a (name, value) pair, in declaration order — the
+    single serialization point for the metrics-export layer (keep in sync
+    with the record; the JSON schema is these names verbatim). *)
+let to_fields (c : t) : (string * int) list =
+  [
+    ("cycles", c.cycles);
+    ("valu_busy", c.valu_busy);
+    ("salu_busy", c.salu_busy);
+    ("mem_unit_busy", c.mem_unit_busy);
+    ("lds_busy", c.lds_busy);
+    ("write_stalled", c.write_stalled);
+    ("valu_insts", c.valu_insts);
+    ("valu_lane_ops", c.valu_lane_ops);
+    ("salu_insts", c.salu_insts);
+    ("vmem_insts", c.vmem_insts);
+    ("lds_insts", c.lds_insts);
+    ("lds_lane_ops", c.lds_lane_ops);
+    ("atomics", c.atomics);
+    ("barriers_executed", c.barriers_executed);
+    ("branches", c.branches);
+    ("l1_hits", c.l1_hits);
+    ("l1_misses", c.l1_misses);
+    ("l2_hits", c.l2_hits);
+    ("l2_misses", c.l2_misses);
+    ("dram_read_bytes", c.dram_read_bytes);
+    ("dram_write_bytes", c.dram_write_bytes);
+    ("l2_write_bytes", c.l2_write_bytes);
+    ("global_load_insts", c.global_load_insts);
+    ("global_store_insts", c.global_store_insts);
+    ("spin_iterations", c.spin_iterations);
+    ("waves_launched", c.waves_launched);
+    ("groups_launched", c.groups_launched);
+  ]
+
 (* Derived percentages over the kernel duration, as CodeXL reports them. *)
 
 let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den

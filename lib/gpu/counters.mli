@@ -42,6 +42,10 @@ val accumulate : into:t -> t -> unit
 (** Add every field of the second counter into [into] (multi-pass
     benchmarks). *)
 
+val to_fields : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order (the
+    serialization point for the metrics-export layer). *)
+
 (** {1 Derived percentages over the kernel duration (CodeXL style)} *)
 
 val valu_busy_pct : n_cus:int -> simds_per_cu:int -> t -> float

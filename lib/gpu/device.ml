@@ -128,6 +128,10 @@ type cu_state = {
   mutable sched : slot array;
   mutable rr : int;  (** rotating scan start for [Round_robin] *)
   mutable wake : int;
+  mutable wstall_counted_until : int;
+      (** write-stall cycles are charged as blocked spans; this marks the
+          end of the last span already credited, so overlapping scans of
+          one episode never double-count *)
 }
 
 exception Trap_detected
@@ -146,6 +150,13 @@ type launch_opts = {
   window_cycles : int option;
   inject : inject_plan option;
   verify_kernel : bool;
+  trace : Gpu_trace.Sink.t option;
+      (** scheduler-event sink; [None] (the default) keeps the issue loop
+          free of event allocation *)
+  scan_every_cycle : bool;
+      (** debug: disable idle skip-ahead and scan every CU every cycle.
+          Slower but timing-equivalent; used to cross-check the stall
+          accounting the skip-ahead path must reproduce. *)
 }
 
 let default_opts =
@@ -155,6 +166,8 @@ let default_opts =
     window_cycles = None;
     inject = None;
     verify_kernel = true;
+    trace = None;
+    scan_every_cycle = false;
   }
 
 let atomic_eval op old v =
@@ -165,6 +178,7 @@ let atomic_eval op old v =
   | A_xchg -> v
   | A_max_u -> if uo >= uv then old else v
   | A_min_u -> if uo <= uv then old else v
+  | A_poll -> old  (* tagged spin-poll: an L2-visible read, no write *)
 
 let classify_unit div (i : inst) : unit_kind =
   match i with
@@ -243,7 +257,16 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
           sched = [||];
           rr = 0;
           wake = 0;
+          wstall_counted_until = 0;
         })
+  in
+  (* Tracing: [emit] is only reached behind [tracing], so a disabled run
+     neither allocates events nor takes the indirect call. *)
+  let tracing = opts.trace <> None in
+  let emit at ev =
+    match opts.trace with
+    | Some s -> s.Gpu_trace.Sink.emit ~at ev
+    | None -> ()
   in
   let next_group = ref 0 in
   let groups_completed = ref 0 in
@@ -293,11 +316,13 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
           match sp with
           | Global ->
               let old = Memsys.read32 ms a in
-              Memsys.store32 ms ~cu:cu_id a (atomic_eval op old v);
+              (* a poll reads without writing back (no poison refresh) *)
+              if op <> A_poll then
+                Memsys.store32 ms ~cu:cu_id a (atomic_eval op old v);
               old
           | Local ->
               let old = lds_read a in
-              lds_write a (atomic_eval op old v);
+              if op <> A_poll then lds_write a (atomic_eval op old v);
               old);
       mcas =
         (fun sp a e n ->
@@ -405,6 +430,10 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
             assign;
           counters.groups_launched <- counters.groups_launched + 1;
           counters.waves_launched <- counters.waves_launched + waves_per_group;
+          if tracing then
+            emit now
+              (Gpu_trace.Sink.Group_dispatch
+                 { cu = cu.cu_id; group = gi; waves = waves_per_group });
           Log.debug (fun m ->
               m "cycle %d: dispatch group %d (%d waves) to CU %d" now gi
                 waves_per_group cu.cu_id);
@@ -436,7 +465,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
   in
 
   (* -------------------- retire / barrier -------------------- *)
-  let retire_wave cu (s : slot) =
+  let retire_wave cu (s : slot) now =
     s.live <- false;
     if s.w.Wave.retire_accounted then ()
     else begin
@@ -450,6 +479,9 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
       cu.groups <- List.filter (fun g -> g != s.g) cu.groups;
       cu.lds_used <- cu.lds_used - s.g.g_lds_account;
       incr groups_completed;
+      if tracing then
+        emit now
+          (Gpu_trace.Sink.Group_retire { cu = cu.cu_id; group = s.g.g_index });
       Log.debug (fun m ->
           m "group %d completed on CU %d (%d/%d)" s.g.g_index cu.cu_id
             !groups_completed total_groups);
@@ -458,12 +490,19 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
     end
   in
 
-  let arrive_barrier (g : grp) =
+  let arrive_barrier cu (g : grp) ~wid now =
     g.barrier_arrived <- g.barrier_arrived + 1;
+    if tracing then
+      emit now
+        (Gpu_trace.Sink.Barrier_arrive
+           { cu = cu.cu_id; group = g.g_index; wave = wid });
     if g.barrier_arrived = Array.length g.g_waves then begin
       g.barrier_arrived <- 0;
       Array.iter Wave.release_barrier g.g_waves;
       counters.barriers_executed <- counters.barriers_executed + 1;
+      if tracing then
+        emit now
+          (Gpu_trace.Sink.Barrier_release { cu = cu.cu_id; group = g.g_index });
       true
     end
     else false
@@ -481,8 +520,24 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
     and vmem_used = ref false
     and lds_used = ref false
     and salu_used = ref false in
-    let write_stall_seen = ref false in
     let events = ref false in
+    let stall (s : slot) cause =
+      emit now
+        (Gpu_trace.Sink.Stall
+           { cu = cu.cu_id; group = s.g.g_index; wave = s.w.Wave.wid; cause })
+    in
+    let issued (s : slot) unit_ busy =
+      emit now
+        (Gpu_trace.Sink.Wave_issue
+           {
+             cu = cu.cu_id;
+             simd = s.w.Wave.simd;
+             group = s.g.g_index;
+             wave = s.w.Wave.wid;
+             unit_;
+             busy;
+           })
+    in
     (* iterate a stable snapshot: retirement may rebuild [cu.sched] *)
     let sched = cu.sched in
     let n = Array.length sched in
@@ -507,11 +562,12 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
         else
           match Wave.peek w ~now ~on_branch with
           | Wave.P_done ->
-              retire_wave cu s;
+              retire_wave cu s now;
               events := true
           | Wave.P_barrier_arrived ->
-              if arrive_barrier s.g then events := true
-          | Wave.P_waiting -> ()
+              if arrive_barrier cu s.g ~wid:w.Wave.wid now then events := true
+          | Wave.P_waiting ->
+              if tracing then stall s Gpu_trace.Sink.Barrier_wait
           | Wave.P_stall ->
               (* control-flow operand not ready: conservative near wake *)
               note (now + 1)
@@ -525,6 +581,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       | _ -> acc)
                     (now + 1) (inst_uses i)
                 in
+                if tracing then stall s Gpu_trace.Sink.Scoreboard;
                 note t
               end
               else begin
@@ -558,10 +615,14 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                                 now cu.cu_id s.g.g_index w.Wave.wid);
                           raise Trap_detected
                       | _ -> ());
+                      if tracing then issued s Gpu_trace.Sink.Valu busy;
                       valu_used := true;
                       issue_done := true
                     end
-                    else note cu.simd_busy_until.(simd)
+                    else begin
+                      if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      note cu.simd_busy_until.(simd)
+                    end
                 | U_salu ->
                     if (not !salu_used) && cu.salu_busy_until <= now then begin
                       ignore (Wave.exec w i ~mem:s.mem ~line_bytes:cfg.line_bytes);
@@ -571,10 +632,14 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       (match inst_def i with
                       | Some d -> w.Wave.ready_at.(d) <- now + cfg.salu_latency
                       | None -> ());
+                      if tracing then issued s Gpu_trace.Sink.Salu 1;
                       salu_used := true;
                       issue_done := true
                     end
-                    else note cu.salu_busy_until
+                    else begin
+                      if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      note cu.salu_busy_until
+                    end
                 | U_lds ->
                     if (not !lds_used) && cu.lds_busy_until <= now then begin
                       let eff = Wave.exec w i ~mem:s.mem ~line_bytes:cfg.line_bytes in
@@ -592,21 +657,42 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       (match inst_def i with
                       | Some d -> w.Wave.ready_at.(d) <- now + cfg.lds_latency
                       | None -> ());
+                      if tracing then
+                        issued s Gpu_trace.Sink.Lds cfg.lds_issue_cycles;
                       lds_used := true;
                       issue_done := true
                     end
-                    else note cu.lds_busy_until
+                    else begin
+                      if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      note cu.lds_busy_until
+                    end
                 | U_vmem ->
                     let is_store =
                       match i with Store (Global, _, _) -> true | _ -> false
                     in
                     if !vmem_used || Memsys.(ms.mem_busy_until.(cu.cu_id)) > now
-                    then note Memsys.(ms.mem_busy_until.(cu.cu_id))
+                    then begin
+                      if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      note Memsys.(ms.mem_busy_until.(cu.cu_id))
+                    end
                     else if
                       is_store && Memsys.store_would_stall ms ~cu:cu.cu_id ~now
                     then begin
-                      write_stall_seen := true;
-                      note (now + 8)
+                      (* Charge the whole blocked span at once: the backlog
+                         cannot change while the store is stalled, and idle
+                         skip-ahead may never rescan the intervening
+                         cycles. [wstall_counted_until] de-overlaps repeat
+                         scans of the same episode, so each blocked cycle
+                         is counted exactly once per CU. *)
+                      let until = Memsys.store_stall_until ms ~cu:cu.cu_id in
+                      let from = max now cu.wstall_counted_until in
+                      if until > from then begin
+                        counters.write_stalled <-
+                          counters.write_stalled + (until - from);
+                        cu.wstall_counted_until <- until
+                      end;
+                      if tracing then stall s Gpu_trace.Sink.Write_backlog;
+                      note until
                     end
                     else begin
                       let eff = Wave.exec w i ~mem:s.mem ~line_bytes:cfg.line_bytes in
@@ -624,6 +710,16 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                           counters.mem_unit_busy <-
                             counters.mem_unit_busy + busy;
                           counters.vmem_insts <- counters.vmem_insts + 1;
+                          (match i with
+                          | Atomic (A_poll, _, _, _, _) ->
+                              (* every active lane's flag poll is one spin
+                                 iteration (Per_item gives each lane its
+                                 own slot) *)
+                              counters.spin_iterations <-
+                                counters.spin_iterations + m.lanes;
+                              if tracing then stall s Gpu_trace.Sink.Spin
+                          | _ -> ());
+                          if tracing then issued s Gpu_trace.Sink.Vmem busy;
                           (match m.mkind with
                           | Wave.MLoad ->
                               counters.global_load_insts <-
@@ -658,8 +754,6 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
               end
       end
     done;
-    if !write_stall_seen then
-      counters.write_stalled <- counters.write_stalled + 1;
     if !other_simd_work || !events then note (now + 1);
     cu.wake <- !wake
   in
@@ -755,7 +849,10 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                inject_pending := None
              end
          | _ -> ());
-         Array.iter (fun cu -> if cu.wake <= now then scan_cu cu now) cus;
+         Array.iter
+           (fun cu ->
+             if opts.scan_every_cycle || cu.wake <= now then scan_cu cu now)
+           cus;
          if now >= !next_window then begin
            let snap = Counters.copy counters in
            snap.Counters.cycles <- now;
@@ -769,7 +866,11 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
            let nxt = ref (now + 1) in
            let min_wake = ref max_int in
            Array.iter (fun cu -> if cu.wake < !min_wake then min_wake := cu.wake) cus;
-           if !min_wake > now + 1 && !min_wake < max_int then nxt := !min_wake;
+           if
+             (not opts.scan_every_cycle)
+             && !min_wake > now + 1
+             && !min_wake < max_int
+           then nxt := !min_wake;
            if !min_wake = max_int && !next_group >= total_groups then begin
              (* nothing can ever run again: deadlock (e.g. barrier with
                 retired waves). Treat as hang. *)
@@ -789,6 +890,12 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
   | Trap_detected -> outcome := Detected
   | Memsys.Fault msg -> outcome := Crashed msg);
   counters.cycles <- !cycle;
+  (* Flush the final partial power window on every exit path (Finished,
+     Hung, Detected, Crashed): the in-loop sampler only fires on window
+     boundaries, and without this up to [window_cycles - 1] trailing
+     cycles of activity would vanish from Power_model.report. *)
+  let tail = Counters.delta (Counters.copy counters) !last_window_snapshot in
+  if tail.Counters.cycles > 0 then windows := tail :: !windows;
   {
     cycles = !cycle;
     outcome = !outcome;

@@ -82,6 +82,12 @@ type launch_opts = {
   window_cycles : int option;  (** power-sampling window override *)
   inject : inject_plan option;
   verify_kernel : bool;  (** run {!Gpu_ir.Verify.check} first (default) *)
+  trace : Gpu_trace.Sink.t option;
+      (** scheduler-event sink ([None], the default, adds no work to the
+          issue loop; events never perturb timing or counters) *)
+  scan_every_cycle : bool;
+      (** debug: disable idle skip-ahead and scan every CU every cycle;
+          timing-equivalent but much slower (cross-checks stall spans) *)
 }
 
 val default_opts : launch_opts

@@ -154,6 +154,14 @@ let store_would_stall t ~cu ~now =
   t.write_busy_until.(cu)
   > float_of_int (now + t.cfg.write_backlog_limit)
 
+(** First cycle at which a store on [cu] would no longer stall. The
+    backlog only grows when a store issues and no store can issue while
+    one is stalled, so the bound is exact: between a stall and this cycle
+    [write_busy_until] cannot change. *)
+let store_stall_until t ~cu =
+  int_of_float
+    (Float.ceil (t.write_busy_until.(cu) -. float_of_int t.cfg.write_backlog_limit))
+
 (** Timing for a write-through vector store of [lines]: consumes per-CU
     write bandwidth and device DRAM bandwidth; stores do not block the
     issuing wave. L1 copies are updated in place (write-through,

@@ -49,6 +49,11 @@ val load_timed : t -> cu:int -> now:int -> int list -> int
 (** Completion cycle of a coalesced load of the given lines. *)
 
 val store_would_stall : t -> cu:int -> now:int -> bool
+
+val store_stall_until : t -> cu:int -> int
+(** First cycle at which a store on [cu] would no longer stall (exact:
+    the backlog cannot change while the store is blocked). *)
+
 val store_timed : t -> cu:int -> now:int -> int list -> unit
 val atomic_timed : t -> cu:int -> now:int -> int list -> int
 

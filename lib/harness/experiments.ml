@@ -115,6 +115,35 @@ let prefetch ctx ?tag ?scale ?usage_override ?window_cycles
     (find_or_submit ctx ?tag ?scale ?usage_override ?window_cycles bench
        variant)
 
+(* ---- observability hooks for the metrics-export layer ---- *)
+
+let pool_stats ctx = Pool.stats ctx.pool
+let pool_stats_line ctx = Pool.stats_line ctx.pool
+
+let key_label (k : run_key) =
+  String.concat "/"
+    ([ k.k_bench; k.k_variant ]
+    @ (if k.k_scale <> 1 then [ Printf.sprintf "x%d" k.k_scale ] else [])
+    @ (match k.k_window with
+      | Some w -> [ Printf.sprintf "w%d" w ]
+      | None -> [])
+    @ match k.k_usage with Some _ -> [ "inflated" ] | None -> [])
+
+(* Completed runs currently in the cache, labelled and sorted so the
+   export is deterministic. Pending or failed futures are skipped — a
+   metrics drain must never block the pool or re-raise a run's error. *)
+let cached_summaries ctx : (string * Run.summary) list =
+  Mutex.lock ctx.cache_lock;
+  let entries =
+    Hashtbl.fold (fun k fut acc -> (key_label k, fut) :: acc) ctx.cache []
+  in
+  Mutex.unlock ctx.cache_lock;
+  List.filter_map
+    (fun (label, fut) ->
+      match Pool.peek fut with Some s -> Some (label, s) | None -> None)
+    entries
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let all_benches = Kernels.Registry.all
 
 (* ------------------------------------------------------------------ *)

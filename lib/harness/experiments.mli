@@ -27,6 +27,17 @@ val campaign_map : ctx -> ('a -> 'b) -> 'a list -> 'b list
 (** {!Pool.map} over the context's pool — submission-ordered parallel
     map, suitable as the [map] argument of {!Fault.Campaign.run}. *)
 
+val pool_stats : ctx -> Pool.stats
+(** Per-worker task counts and queue waits of the context's pool. *)
+
+val pool_stats_line : ctx -> string
+(** One-line {!Pool.stats_line} summary for [-j] status output. *)
+
+val cached_summaries : ctx -> (string * Run.summary) list
+(** Completed runs currently in the cache, labelled
+    ["bench/variant[/xS][/wW][/inflated]"] and sorted by label. Pending
+    and failed runs are skipped (never blocks). *)
+
 val get :
   ctx ->
   ?tag:string ->

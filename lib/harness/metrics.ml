@@ -1,0 +1,96 @@
+(** Machine-readable run metrics: JSON serialization of counters and run
+    summaries, plus the [BENCH_<rev>.json] perf-trajectory file the bench
+    driver emits so future revisions can diff wall-clock and simulated
+    behaviour against this one. *)
+
+module Json = Gpu_trace.Json
+module Counters = Gpu_sim.Counters
+module T = Rmt_core.Transform
+
+let schema_version = 1
+
+let hit_pct hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total
+
+(** A counter set as a JSON object: every raw field (via
+    {!Counters.to_fields}) plus the derived cache hit rates. *)
+let counters_json (c : Counters.t) : Json.t =
+  Json.Obj
+    (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.to_fields c)
+    @ [
+        ("l1_hit_pct", Json.Float (hit_pct c.Counters.l1_hits c.Counters.l1_misses));
+        ("l2_hit_pct", Json.Float (hit_pct c.Counters.l2_hits c.Counters.l2_misses));
+      ])
+
+let outcome_json (o : Gpu_sim.Device.outcome) =
+  Json.Str (Run.outcome_name o)
+
+(** One run summary. [label] is the experiment-cache label
+    (["bench/variant..."]); the full counter set rides along. *)
+let summary_json ~label (s : Run.summary) : Json.t =
+  Json.Obj
+    [
+      ("label", Json.Str label);
+      ("bench", Json.Str s.Run.bench_id);
+      ("variant", Json.Str (T.name s.Run.variant));
+      ("cycles", Json.Int s.Run.cycles);
+      ("outcome", outcome_json s.Run.outcome);
+      ("verified", Json.Bool s.Run.verified);
+      ("steps", Json.Int s.Run.steps);
+      ("windows", Json.Int (Array.length s.Run.windows));
+      ("counters", counters_json s.Run.counters);
+    ]
+
+let pool_json (p : Pool.stats) : Json.t =
+  Json.Obj
+    [
+      ("jobs", Json.Int p.Pool.s_jobs);
+      ( "tasks_per_worker",
+        Json.List
+          (Array.to_list (Array.map (fun n -> Json.Int n) p.Pool.tasks_per_worker))
+      );
+      ("total_queue_wait_s", Json.Float p.Pool.total_queue_wait);
+      ("max_queue_wait_s", Json.Float p.Pool.max_queue_wait);
+    ]
+
+(** The whole perf-trajectory document: wall-clock per experiment, every
+    completed simulated run (cycles, counters, cache hit rates), and the
+    worker-pool statistics of the producing process. *)
+let bench_json ~rev ~jobs ~(experiments : (string * float) list)
+    ~(runs : (string * Run.summary) list) ~(pool : Pool.stats) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("rev", Json.Str rev);
+      ("jobs", Json.Int jobs);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (name, wall_s) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("wall_s", Json.Float wall_s) ])
+             experiments) );
+      ("runs", Json.List (List.map (fun (l, s) -> summary_json ~label:l s) runs));
+      ("pool", pool_json pool);
+    ]
+
+(** Revision stamp for the trajectory filename: [$RMTGPU_REV] when set,
+    otherwise the short git head, otherwise ["dev"]. *)
+let rev () =
+  match Sys.getenv_opt "RMTGPU_REV" with
+  | Some r when String.trim r <> "" -> String.trim r
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when String.trim line <> "" -> String.trim line
+        | _ -> "dev"
+      with _ -> "dev")
+
+let write_file path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc

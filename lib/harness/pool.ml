@@ -24,13 +24,27 @@ type 'a future = {
   mutable f_state : 'a state;
 }
 
+(** Per-pool observability: how many tasks each worker executed and how
+    long tasks sat queued before a worker picked them up. Queue-wait is
+    the scheduling-delay signal — a deep backlog with idle-free workers
+    means the grid is submission-bound, not worker-bound. *)
+type stats = {
+  s_jobs : int;
+  tasks_per_worker : int array;  (** index = worker (0 = inline caller) *)
+  total_queue_wait : float;  (** seconds, summed over dequeued tasks *)
+  max_queue_wait : float;  (** seconds *)
+}
+
 type t = {
   jobs : int;
-  queue : (unit -> unit) Queue.t;
+  queue : (float * (unit -> unit)) Queue.t;  (** (submit time, task) *)
   lock : Mutex.t;
   work_ready : Condition.t;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  task_counts : int array;
+  mutable total_wait : float;
+  mutable max_wait : float;
 }
 
 let env_var = "RMTGPU_JOBS"
@@ -47,7 +61,7 @@ let default_jobs () =
 
 (* Workers drain the queue even while stopping, so every submitted
    future still resolves and no await can hang across a shutdown. *)
-let worker pool () =
+let worker pool wid () =
   let rec loop () =
     Mutex.lock pool.lock;
     while Queue.is_empty pool.queue && not pool.stopping do
@@ -55,7 +69,11 @@ let worker pool () =
     done;
     match Queue.take_opt pool.queue with
     | None -> Mutex.unlock pool.lock
-    | Some task ->
+    | Some (submitted, task) ->
+        let wait = Unix.gettimeofday () -. submitted in
+        pool.task_counts.(wid) <- pool.task_counts.(wid) + 1;
+        pool.total_wait <- pool.total_wait +. wait;
+        if wait > pool.max_wait then pool.max_wait <- wait;
         Mutex.unlock pool.lock;
         task ();
         loop ()
@@ -81,10 +99,13 @@ let create ?jobs () =
       work_ready = Condition.create ();
       stopping = false;
       workers = [];
+      task_counts = Array.make jobs 0;
+      total_wait = 0.0;
+      max_wait = 0.0;
     }
   in
   if jobs > 1 then begin
-    pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker pool));
+    pool.workers <- List.init jobs (fun wid -> Domain.spawn (worker pool wid));
     (* a straggler pool (e.g. in a test that never calls [shutdown])
        must not leave domains blocked in Condition.wait at exit *)
     at_exit (fun () -> shutdown pool)
@@ -106,18 +127,30 @@ let submit pool f =
     Condition.broadcast fut.f_cond;
     Mutex.unlock fut.f_lock
   in
-  if pool.jobs <= 1 then task ()
+  if pool.jobs <= 1 then begin
+    (* inline execution: the caller is "worker 0" and nothing queues *)
+    pool.task_counts.(0) <- pool.task_counts.(0) + 1;
+    task ()
+  end
   else begin
     Mutex.lock pool.lock;
     if pool.stopping then begin
       Mutex.unlock pool.lock;
       invalid_arg "Pool.submit: pool is shut down"
     end;
-    Queue.push task pool.queue;
+    Queue.push (Unix.gettimeofday (), task) pool.queue;
     Condition.signal pool.work_ready;
     Mutex.unlock pool.lock
   end;
   fut
+
+(* Non-blocking: [Some v] once the task has finished, [None] while it is
+   pending or if it failed (metrics drains must never block or re-raise). *)
+let peek fut =
+  Mutex.lock fut.f_lock;
+  let s = fut.f_state in
+  Mutex.unlock fut.f_lock;
+  match s with Done v -> Some v | Pending | Failed _ -> None
 
 let await fut =
   Mutex.lock fut.f_lock;
@@ -138,3 +171,33 @@ let await fut =
 let map pool f xs =
   let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
   List.map await futures
+
+let stats pool =
+  Mutex.lock pool.lock;
+  let s =
+    {
+      s_jobs = pool.jobs;
+      tasks_per_worker = Array.copy pool.task_counts;
+      total_queue_wait = pool.total_wait;
+      max_queue_wait = pool.max_wait;
+    }
+  in
+  Mutex.unlock pool.lock;
+  s
+
+(** One-line human summary for the [-j] status line, e.g.
+    ["4 workers, 36 tasks [10/9/9/8], queue wait avg 1.2 ms, max 8.0 ms"]. *)
+let stats_line pool =
+  let s = stats pool in
+  let total = Array.fold_left ( + ) 0 s.tasks_per_worker in
+  let per_worker =
+    String.concat "/"
+      (Array.to_list (Array.map string_of_int s.tasks_per_worker))
+  in
+  if s.s_jobs <= 1 then
+    Printf.sprintf "1 worker (inline), %d tasks" total
+  else
+    Printf.sprintf "%d workers, %d tasks [%s], queue wait avg %.1f ms, max %.1f ms"
+      s.s_jobs total per_worker
+      (if total = 0 then 0.0 else 1000.0 *. s.total_queue_wait /. float_of_int total)
+      (1000.0 *. s.max_queue_wait)

@@ -31,6 +31,10 @@ val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task. Tasks must not themselves [submit]-and-{!await} on
     the same pool (workers never spawn work, so that could deadlock). *)
 
+val peek : 'a future -> 'a option
+(** Non-blocking result probe: [Some v] once the task finished, [None]
+    while pending or after a failure (never re-raises). *)
+
 val await : 'a future -> 'a
 (** Block until the task finishes; re-raises (with its backtrace) any
     exception the task raised on its worker domain. *)
@@ -43,3 +47,19 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : t -> unit
 (** Drain the queue, stop and join the workers. Idempotent; pools with
     [jobs > 1] are also shut down automatically [at_exit]. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  s_jobs : int;
+  tasks_per_worker : int array;  (** index = worker (0 = inline caller) *)
+  total_queue_wait : float;  (** seconds, summed over dequeued tasks *)
+  max_queue_wait : float;  (** seconds *)
+}
+
+val stats : t -> stats
+(** Snapshot of per-worker task counts and queue-wait totals. Inline
+    ([jobs = 1]) pools count tasks against worker 0 with zero wait. *)
+
+val stats_line : t -> string
+(** One-line summary of {!stats} for the [-j] status line. *)

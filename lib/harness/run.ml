@@ -48,9 +48,12 @@ let transformed_kernel ?(optimize = false) (bench : Kernels.Bench.t) variant
 
     @param scale problem-size multiplier (1 = paper-scaled default)
     @param usage_override resource inflation for the component analysis
-    @param inject a fault plan, interpreted against cumulative cycles *)
+    @param inject a fault plan, interpreted against cumulative cycles
+    @param trace a scheduler-event sink; multi-pass launches are spliced
+    into one monotonic stream by offsetting each pass's events by the
+    cycles already simulated *)
 let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
-    ?window_cycles ?max_cycles ?usage_override ?inject
+    ?window_cycles ?max_cycles ?usage_override ?inject ?trace
     (bench : Kernels.Bench.t) (variant : Transform.variant) : summary =
   let dev = Device.create cfg in
   let prep = bench.prepare dev ~scale in
@@ -80,6 +83,11 @@ let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
                Some { plan with Device.at_cycle = max 0 (plan.Device.at_cycle - !cycles) }
            | _ -> None
          in
+         let step_trace =
+           match trace with
+           | Some sink -> Some (Gpu_trace.Sink.with_offset !cycles sink)
+           | None -> None
+         in
          let opts =
            {
              Device.default_opts with
@@ -87,6 +95,7 @@ let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
              window_cycles;
              max_cycles;
              inject = step_inject;
+             trace = step_trace;
            }
          in
          let nd = Transform.map_ndrange variant step.Kernels.Bench.nd in

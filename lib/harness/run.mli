@@ -38,9 +38,12 @@ val run :
   ?max_cycles:int ->
   ?usage_override:Gpu_ir.Regpressure.usage ->
   ?inject:Gpu_sim.Device.inject_plan ->
+  ?trace:Gpu_trace.Sink.t ->
   Kernels.Bench.t ->
   Rmt_core.Transform.variant ->
   summary
+(** [trace] receives the scheduler events of every launch, spliced into
+    one stream by offsetting each pass by the cycles already simulated. *)
 
 val run_naive_duplication :
   ?cfg:Gpu_sim.Config.t -> ?scale:int -> Kernels.Bench.t -> summary

@@ -134,7 +134,7 @@ let space_of_string ln = function
 
 let atomic_of_string = function
   | "add" -> Some A_add | "sub" -> Some A_sub | "xchg" -> Some A_xchg
-  | "max_u" -> Some A_max_u | "min_u" -> Some A_min_u
+  | "max_u" -> Some A_max_u | "min_u" -> Some A_min_u | "poll" -> Some A_poll
   | _ -> None
 
 let dim_of ln s =

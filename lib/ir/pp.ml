@@ -47,7 +47,7 @@ let string_of_space = function Global -> "global" | Local -> "local"
 
 let string_of_atomic_op = function
   | A_add -> "add" | A_sub -> "sub" | A_xchg -> "xchg"
-  | A_max_u -> "max_u" | A_min_u -> "min_u"
+  | A_max_u -> "max_u" | A_min_u -> "min_u" | A_poll -> "poll"
 
 let string_of_swizzle = function
   | Dup_even -> "dup_even"

@@ -86,8 +86,11 @@ type special =
   | Lds_base of string
 
 (** Atomic read-modify-write operations. [A_add]/[A_sub] with operand 0 is
-    the paper's idiom for an L2-visible (cache-bypassing) load. *)
-type atomic_op = A_add | A_sub | A_xchg | A_max_u | A_min_u
+    the paper's idiom for an L2-visible (cache-bypassing) load. [A_poll]
+    is that same idiom tagged as a spin-loop poll: it reads the old value
+    and writes nothing, but marks the access so the device can charge it
+    to [Counters.spin_iterations] instead of useful memory work. *)
+type atomic_op = A_add | A_sub | A_xchg | A_max_u | A_min_u | A_poll
 
 (** Cross-lane data movement inside a wavefront, the architecture-specific
     escape hatch of Section 8. [Dup_even] makes every lane read the value

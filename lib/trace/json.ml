@@ -1,0 +1,248 @@
+(** Minimal JSON tree, serializer and parser.
+
+    The repo deliberately takes no external dependencies, so the trace
+    exporter and the metrics files carry their own ~150-line JSON layer.
+    The serializer emits RFC 8259-conformant text; the parser exists so
+    tests and the CI smoke job can validate that what we emit round-trips
+    without shelling out to another toolchain. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.6g" x
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (float_to_string x)
+  | Str s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.s
+    && match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some d when d = c -> cur.pos <- cur.pos + 1
+  | _ -> fail cur (Printf.sprintf "expected %c" c)
+
+let literal cur word v =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.s
+    && String.sub cur.s cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur ("expected " ^ word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> cur.pos <- cur.pos + 1
+    | Some '\\' -> (
+        cur.pos <- cur.pos + 1;
+        match peek cur with
+        | Some '"' -> Buffer.add_char buf '"'; cur.pos <- cur.pos + 1; loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; cur.pos <- cur.pos + 1; loop ()
+        | Some '/' -> Buffer.add_char buf '/'; cur.pos <- cur.pos + 1; loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; cur.pos <- cur.pos + 1; loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; cur.pos <- cur.pos + 1; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; cur.pos <- cur.pos + 1; loop ()
+        | Some 'b' -> Buffer.add_char buf '\b'; cur.pos <- cur.pos + 1; loop ()
+        | Some 'f' -> Buffer.add_char buf '\012'; cur.pos <- cur.pos + 1; loop ()
+        | Some 'u' ->
+            if cur.pos + 5 > String.length cur.s then fail cur "bad \\u escape";
+            let hex = String.sub cur.s (cur.pos + 1) 4 in
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail cur "bad \\u escape"
+            in
+            (* keep it simple: decode BMP code points as UTF-8 *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            cur.pos <- cur.pos + 5;
+            loop ()
+        | _ -> fail cur "bad escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        cur.pos <- cur.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    cur.pos < String.length cur.s && is_num_char cur.s.[cur.pos]
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  let text = String.sub cur.s start (cur.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some x -> Float x
+      | None -> fail cur "bad number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '{' ->
+      expect cur '{';
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        cur.pos <- cur.pos + 1;
+        Obj []
+      end
+      else begin
+        let kvs = ref [] in
+        let rec members () =
+          skip_ws cur;
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          kvs := (k, v) :: !kvs;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> cur.pos <- cur.pos + 1; members ()
+          | Some '}' -> cur.pos <- cur.pos + 1
+          | _ -> fail cur "expected , or }"
+        in
+        members ();
+        Obj (List.rev !kvs)
+      end
+  | Some '[' ->
+      expect cur '[';
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        cur.pos <- cur.pos + 1;
+        List []
+      end
+      else begin
+        let xs = ref [] in
+        let rec elements () =
+          let v = parse_value cur in
+          xs := v :: !xs;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> cur.pos <- cur.pos + 1; elements ()
+          | Some ']' -> cur.pos <- cur.pos + 1
+          | _ -> fail cur "expected , or ]"
+        in
+        elements ();
+        List (List.rev !xs)
+      end
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some _ -> parse_number cur
+
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+let parse s =
+  let cur = { s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (for tests and the CLI)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

@@ -1,0 +1,65 @@
+(** ASCII per-CU utilization timeline.
+
+    Buckets the run into [width] equal spans of cycles and, for every CU,
+    shades each bucket by the fraction of issue-slot capacity actually
+    used — where capacity is [simds_per_cu] VALU slots plus the three
+    shared units (SALU, VMEM, LDS) per cycle. Issue slices that straddle
+    a bucket boundary are apportioned cycle-accurately. *)
+
+let ramp = " .:-=+*#%@"
+
+let shade frac =
+  let n = String.length ramp in
+  let i = int_of_float (frac *. float_of_int n) in
+  ramp.[max 0 (min (n - 1) i)]
+
+(** [render ~n_cus ~simds_per_cu ~cycles ~width records] returns the
+    multi-line timeline text (one row per CU plus a scale footer). *)
+let render ~n_cus ~simds_per_cu ~cycles ?(width = 64) (records : Sink.record list)
+    : string =
+  let cycles = max 1 cycles in
+  let width = max 1 width in
+  let busy = Array.make_matrix n_cus width 0.0 in
+  let span = float_of_int cycles /. float_of_int width in
+  let bucket_of c =
+    min (width - 1) (int_of_float (float_of_int c /. span))
+  in
+  List.iter
+    (fun (r : Sink.record) ->
+      match r.Sink.ev with
+      | Sink.Wave_issue { cu; busy = b; _ } when cu >= 0 && cu < n_cus ->
+          (* spread the [b] busy cycles starting at [r.at] over buckets *)
+          let b = max 1 b in
+          let first = bucket_of r.Sink.at
+          and last = bucket_of (min (cycles - 1) (r.Sink.at + b - 1)) in
+          if first = last then
+            busy.(cu).(first) <- busy.(cu).(first) +. float_of_int b
+          else
+            for k = first to last do
+              let lo = Float.max (float_of_int r.Sink.at) (span *. float_of_int k)
+              and hi =
+                Float.min
+                  (float_of_int (r.Sink.at + b))
+                  (span *. float_of_int (k + 1))
+              in
+              if hi > lo then busy.(cu).(k) <- busy.(cu).(k) +. (hi -. lo)
+            done
+      | _ -> ())
+    records;
+  let capacity = float_of_int (simds_per_cu + 3) *. span in
+  let buf = Buffer.create 1024 in
+  for cu = 0 to n_cus - 1 do
+    let total = Array.fold_left ( +. ) 0.0 busy.(cu) in
+    Buffer.add_string buf (Printf.sprintf "CU %2d |" cu);
+    for k = 0 to width - 1 do
+      Buffer.add_char buf (shade (busy.(cu).(k) /. capacity))
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "| %5.1f%% issue\n"
+         (100.0 *. total /. (capacity *. float_of_int width)))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%6s 0%s%d cycles\n" ""
+       (String.make (max 1 (width - String.length (string_of_int cycles))) ' ')
+       cycles);
+  Buffer.contents buf

@@ -13,4 +13,5 @@ let () =
       ("opt", Test_opt.suite);
       ("parse", Test_parse.suite);
       ("tmr", Test_tmr.suite);
+      ("trace", Test_trace.suite);
     ]
