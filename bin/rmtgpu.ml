@@ -6,7 +6,12 @@
      run     <bench> [variant]   simulate and report cycles/counters
      trace   <bench> [variant]   simulate with the trace sink attached and
                                  write a Chrome-trace JSON + ASCII timeline
+     profile <bench> [variant]   per-instruction profile: annotated IR
+                                 listing, hot spots, optional JSON
      inject  <bench> <variant> <target> [n]  fault-injection campaign
+                                 (with propagation provenance)
+     perfdiff <old> <new>        diff two BENCH_<rev>.json trajectories;
+                                 exit 1 when a threshold is crossed
      exp     <name>              regenerate one table/figure (table1..fig9,
                                  coverage, all) *)
 
@@ -147,6 +152,40 @@ let do_trace (b : Kernels.Bench.t) variant scale out width =
   Printf.printf "\nstalls: write_stalled=%d cycles, spin_iterations=%d polls\n"
     c.Gpu_sim.Counters.write_stalled c.Gpu_sim.Counters.spin_iterations
 
+(* ---------------- profile ---------------- *)
+
+let do_profile (b : Kernels.Bench.t) variant scale optimize json_out top =
+  let s, kernel, prof = Harness.Run.run_profiled ~scale ~optimize b variant in
+  Printf.printf "%s under %s: %d cycles over %d launches (%s, verified=%b)\n\n"
+    b.id (T.name variant) s.cycles s.steps
+    (Harness.Run.outcome_name s.outcome)
+    s.verified;
+  print_string (Gpu_prof.Report.annotated_listing kernel prof);
+  print_newline ();
+  print_string (Gpu_prof.Report.hotspots ~n:top kernel prof);
+  match json_out with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Gpu_trace.Json.to_string (Gpu_prof.Report.to_json kernel prof));
+          output_char oc '\n');
+      Printf.printf "\nprofile JSON -> %s\n" path
+  | None -> ()
+
+(* ---------------- perfdiff ---------------- *)
+
+let do_perfdiff old_path new_path wall_tol counter_tol =
+  let thresholds =
+    { Harness.Perfdiff.wall_ratio = wall_tol; counter_rel = counter_tol }
+  in
+  match Harness.Perfdiff.report ~thresholds ~old_path ~new_path () with
+  | text, failed ->
+      print_string text;
+      if failed then exit 1
+  | exception Harness.Perfdiff.Bad_file msg ->
+      Printf.eprintf "perfdiff: %s\n" msg;
+      exit 2
+
 (* ---------------- inject ---------------- *)
 
 let targets =
@@ -173,14 +212,28 @@ let target_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
-let do_inject (b : Kernels.Bench.t) variant target n jobs =
+let do_inject (b : Kernels.Bench.t) variant target n jobs show_prov =
   let ctx = Harness.Experiments.create_ctx ?jobs () in
   let e = Harness.Experiments.coverage_experiment ctx b variant in
-  let t = Fault.Campaign.run ~n ~map:(Harness.Experiments.campaign_map ctx) ~target ~seed:97 e in
+  let obs =
+    Fault.Campaign.run_observations ~n
+      ~map:(Harness.Experiments.campaign_map ctx) ~target ~seed:97 e
+  in
   Harness.Experiments.shutdown ctx;
+  let t = Fault.Campaign.tally_of_observations obs in
   Printf.printf "%s under %s: %s%s\n" b.id (T.name variant)
     (Fault.Campaign.tally_to_string t)
-    (if Fault.Campaign.covered t then "  [covered]" else "")
+    (if Fault.Campaign.covered t then "  [covered]" else "");
+  let psum = Fault.Campaign.provenance_summary obs in
+  if psum <> "" then print_string psum;
+  if show_prov then
+    List.iteri
+      (fun i o ->
+        match o.Fault.Campaign.prov with
+        | Some p when Gpu_prof.Provenance.applied p ->
+            Printf.printf "  #%02d %s\n" i (Gpu_prof.Provenance.to_string p)
+        | _ -> ())
+      obs
 
 (* ---------------- runfile ---------------- *)
 
@@ -433,9 +486,80 @@ let inject_cmd =
     Arg.(required & pos 2 (some target_conv) None & info [] ~docv:"TARGET")
   in
   let n = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Number of injections") in
+  let show_prov =
+    Arg.(
+      value & flag
+      & info [ "prov" ]
+          ~doc:"Print each injection's propagation provenance (flip site, \
+                first consuming instruction, flip-to-detect distance)")
+  in
   Cmd.v
-    (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
-    Term.(const do_inject $ bench_arg $ variant $ target $ n $ jobs_opt)
+    (Cmd.info "inject"
+       ~doc:"Run a fault-injection campaign with propagation provenance")
+    Term.(
+      const do_inject $ bench_arg $ variant $ target $ n $ jobs_opt $ show_prov)
+
+let profile_cmd =
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem-size multiplier")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "O" ] ~doc:"Run the optimizer pipeline first")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the profile as JSON")
+  in
+  let top =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot-spot table")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-instruction profile of a benchmark: annotated IR listing with \
+          per-line cycle share, stall breakdown and cache behaviour, plus a \
+          hot-spot table")
+    Term.(
+      const do_profile $ bench_arg $ variant_arg ~pos:1 $ scale $ optimize
+      $ json_out $ top)
+
+let perfdiff_cmd =
+  let old_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let wall_tol =
+    Arg.(
+      value
+      & opt float Harness.Perfdiff.default_thresholds.Harness.Perfdiff.wall_ratio
+      & info [ "wall-tol" ] ~docv:"RATIO"
+          ~doc:
+            "Flag an experiment when its wall-clock grew beyond \
+             $(docv) times the old value (wall time is machine-noisy; keep \
+             this generous)")
+  in
+  let counter_tol =
+    Arg.(
+      value
+      & opt float
+          Harness.Perfdiff.default_thresholds.Harness.Perfdiff.counter_rel
+      & info [ "counter-tol" ] ~docv:"FRAC"
+          ~doc:
+            "Flag a simulated cost counter when it grew by more than this \
+             fraction (counters are deterministic; keep this tight)")
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Diff two BENCH_<rev>.json perf trajectories and gate on \
+          regressions (exit 1 when a threshold is crossed)")
+    Term.(const do_perfdiff $ old_path $ new_path $ wall_tol $ counter_tol)
 
 let exp_cmd =
   let exp_name =
@@ -471,5 +595,5 @@ let () =
       ~doc:"Compiler-managed GPU redundant multithreading (ISCA 2014) reproduction"
   in
   exit (Cmd.eval (Cmd.group info
-          [ list_cmd; dump_cmd; run_cmd; trace_cmd; inject_cmd; exp_cmd;
-            runfile_cmd ]))
+          [ list_cmd; dump_cmd; run_cmd; trace_cmd; profile_cmd; inject_cmd;
+            perfdiff_cmd; exp_cmd; runfile_cmd ]))

@@ -67,12 +67,33 @@ let mean_latency t =
       Some
         (List.fold_left ( + ) 0 ls / List.length ls)
 
+(** Nearest-rank percentile of [q] in [0,1] over the latencies. *)
+let latency_percentile t q =
+  match t.latencies with
+  | [] -> None
+  | ls ->
+      let a = Array.of_list ls in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      Some a.(min (n - 1) (max 0 (rank - 1)))
+
+let median_latency t = latency_percentile t 0.5
+let p99_latency t = latency_percentile t 0.99
+
+let max_latency t =
+  match t.latencies with
+  | [] -> None
+  | ls -> Some (List.fold_left max min_int ls)
+
 let tally_to_string t =
   Printf.sprintf "masked=%d detected=%d SDC=%d crash=%d hang=%d%s" t.masked
     t.detected t.sdc t.crash t.hang
-    (match mean_latency t with
-    | Some l -> Printf.sprintf " (mean detect latency %d cy)" l
-    | None -> "")
+    (match (mean_latency t, median_latency t, p99_latency t, max_latency t) with
+    | Some m, Some p50, Some p99, Some mx ->
+        Printf.sprintf " (detect latency cy: mean=%d p50=%d p99=%d max=%d)" m
+          p50 p99 mx
+    | _ -> "")
 
 (** One injected run's observable result. *)
 type observation = {
@@ -80,6 +101,9 @@ type observation = {
   output_ok : bool;  (** device output matched the CPU reference *)
   applied : bool;    (** the fault actually landed in a live target *)
   latency : int option;  (** flip-to-trap cycles when detected *)
+  prov : Gpu_prof.Provenance.t option;
+      (** propagation provenance of this run's flip, when the harness
+          attached a record *)
 }
 
 (** One experiment: how to set up, run and check the workload. The
@@ -124,17 +148,27 @@ let tally_of_observations (obs : observation list) : tally =
     obs;
   t
 
-(** Run [n] injections into [target]. The runs are independent (each
-    builds its own simulated device), so [map] — shaped like [List.map],
-    default [List.map] — may evaluate them in parallel, as long as it
-    preserves list order; the tally is order-insensitive anyway (counts
-    and a mean). *)
-let run ?(n = 40) ?map ~(target : Gpu_sim.Device.inject_target) ~seed
-    (e : experiment) : tally =
+(** Run [n] injection plans and collect the raw observations (plan
+    order), so a caller can inspect per-run provenance before tallying.
+    The runs are independent (each builds its own simulated device), so
+    [map] — shaped like [List.map], default [List.map] — may evaluate
+    them in parallel, as long as it preserves list order. *)
+let run_observations ?(n = 40) ?map ~(target : Gpu_sim.Device.inject_target)
+    ~seed (e : experiment) : observation list =
   let map = match map with Some m -> m | None -> fun f xs -> List.map f xs in
   plans ~n ~target ~seed ~golden_cycles:e.golden_cycles ()
   |> map (fun plan -> e.run ~inject:(Some plan))
-  |> tally_of_observations
+
+let run ?n ?map ~(target : Gpu_sim.Device.inject_target) ~seed
+    (e : experiment) : tally =
+  run_observations ?n ?map ~target ~seed e |> tally_of_observations
+
+(** Per-structure propagation summary over the observations that carry
+    provenance; empty string when none do. *)
+let provenance_summary (obs : observation list) : string =
+  let records = List.filter_map (fun o -> o.prov) obs in
+  if records = [] then ""
+  else Gpu_prof.Provenance.(agg_to_string (aggregate records))
 
 (** Coverage verdict for a tally: no SDC observed. *)
 let covered t = t.sdc = 0 && tally_total t > 0

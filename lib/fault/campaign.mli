@@ -23,13 +23,26 @@ val tally_create : unit -> tally
 val tally_total : tally -> int
 val record : tally -> outcome -> unit
 val mean_latency : tally -> int option
+
+val latency_percentile : tally -> float -> int option
+(** Nearest-rank percentile (argument in [0,1]) of the detection
+    latencies; [None] when no detection carried one. *)
+
+val median_latency : tally -> int option
+val p99_latency : tally -> int option
+val max_latency : tally -> int option
+
 val tally_to_string : tally -> string
+(** Includes the detection-latency distribution (mean/p50/p99/max) when
+    any detection carried a latency. *)
 
 type observation = {
   oc : Gpu_sim.Device.outcome;
   output_ok : bool;
   applied : bool;
   latency : int option;
+  prov : Gpu_prof.Provenance.t option;
+      (** propagation provenance of this run's flip, when attached *)
 }
 
 type experiment = {
@@ -51,6 +64,23 @@ val plans :
     [seed]. Pure, so the injected runs can be dispatched in parallel. *)
 
 val tally_of_observations : observation list -> tally
+
+val run_observations :
+  ?n:int ->
+  ?map:
+    ((Gpu_sim.Device.inject_plan -> observation) ->
+    Gpu_sim.Device.inject_plan list ->
+    observation list) ->
+  target:Gpu_sim.Device.inject_target ->
+  seed:int ->
+  experiment ->
+  observation list
+(** Like {!run} but returns the raw observations (plan order) so the
+    caller can inspect per-run provenance before tallying. *)
+
+val provenance_summary : observation list -> string
+(** Per-structure propagation histograms over the observations carrying
+    provenance; [""] when none do. *)
 
 val run :
   ?n:int ->

@@ -19,6 +19,8 @@ open Gpu_ir.Types
 module Regpressure = Gpu_ir.Regpressure
 module Uniformity = Gpu_ir.Uniformity
 module F32 = Gpu_ir.F32
+module Site = Gpu_ir.Site
+module Prov = Gpu_prof.Provenance
 
 (* Scheduler-event log ("gpu.device" source): dispatches, retirements,
    barrier releases, fault injections and detections, at debug level.
@@ -138,6 +140,16 @@ exception Trap_detected
 
 type unit_kind = U_valu | U_salu | U_vmem | U_lds
 
+(* Which hardware structure currently holds the injected corrupted value.
+   Tracked only while a provenance record is attached and only until the
+   first consuming instruction is found. *)
+type taint =
+  | Taint_none
+  | Taint_reg of { t_wave : Wave.t; t_reg : int; t_lanes : int64 }
+  | Taint_lds of { t_grp : grp; t_addr : int }
+      (** word-aligned byte address within the group's LDS *)
+  | Taint_l1
+
 (* ------------------------------------------------------------------ *)
 (* Launch                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -153,6 +165,14 @@ type launch_opts = {
   trace : Gpu_trace.Sink.t option;
       (** scheduler-event sink; [None] (the default) keeps the issue loop
           free of event allocation *)
+  profile : Gpu_prof.Collector.t option;
+      (** per-site profile collector, sized by {!Gpu_ir.Site.count} for
+          this kernel; [None] (the default) keeps the issue loop free of
+          per-site charging, mirroring the [trace] guard *)
+  provenance : Gpu_prof.Provenance.t option;
+      (** fault-propagation record filled in during an injected run:
+          where the flip landed, the first consuming instruction site,
+          and the flip-to-detect distance *)
   scan_every_cycle : bool;
       (** debug: disable idle skip-ahead and scan every CU every cycle.
           Slower but timing-equivalent; used to cross-check the stall
@@ -167,6 +187,8 @@ let default_opts =
     inject = None;
     verify_kernel = true;
     trace = None;
+    profile = None;
+    provenance = None;
     scan_every_cycle = false;
   }
 
@@ -281,9 +303,80 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
     if m <= 0 then 0 else !rng mod m
   in
 
+  (* -------------------- profiling / provenance -------------------- *)
+  (* The annotated body is built once per launch and shared by every
+     wave; site ids are dense program-order indices, so the same kernel
+     always charges into the same collector slots. *)
+  let abody, nsites = Site.annotate kernel.body in
+  let profiling = opts.profile <> None in
+  let prof : Gpu_prof.Collector.t =
+    match opts.profile with
+    | Some p ->
+        if p.Gpu_prof.Collector.nsites <> nsites then
+          invalid_arg
+            (Printf.sprintf
+               "launch: profile collector has %d sites but kernel %s has %d"
+               p.Gpu_prof.Collector.nsites kernel.kname nsites);
+        p
+    | None -> Gpu_prof.Collector.create ~nsites:0
+  in
+  let prov_on = opts.provenance <> None in
+  let prov : Prov.t =
+    match opts.provenance with Some p -> p | None -> Prov.create ()
+  in
+  let taint = ref Taint_none in
+  (* Site and instruction currently at the head of the issuing wave;
+     consulted by the memory closures when they observe a tainted read. *)
+  let prov_cur = ref None in
+  let prov_now = ref 0 in
+  let issued_insts () =
+    counters.valu_insts + counters.salu_insts + counters.vmem_insts
+    + counters.lds_insts
+  in
+  let prov_record_use () =
+    if prov.first_use = None then
+      match !prov_cur with
+      | Some (site, i) ->
+          prov.first_use <-
+            Some
+              {
+                Prov.u_site = site;
+                u_cycle = !prov_now;
+                u_inst_index = issued_insts ();
+                u_inst = Gpu_ir.Pp.string_of_inst i;
+              }
+      | None -> ()
+  in
+  (* Register-taint bookkeeping at issue: a read of the tainted lanes is
+     consumption; a full overwrite of the tainted lanes before any read
+     kills the fault (dead-value masking). Swizzle reads across lanes,
+     so it consumes regardless of the tainted lane's active bit. *)
+  let prov_check_inst (w : Wave.t) i =
+    match !taint with
+    | Taint_reg { t_wave; t_reg; t_lanes }
+      when t_wave == w && prov.first_use = None ->
+        let is_swizzle = match i with Swizzle _ -> true | _ -> false in
+        let reads =
+          List.exists (function Reg r -> r = t_reg | _ -> false) (inst_uses i)
+          && (is_swizzle || Int64.logand w.Wave.mask t_lanes <> 0L)
+        in
+        if reads then prov_record_use ()
+        else begin
+          match inst_def i with
+          | Some d
+            when d = t_reg
+                 && Int64.logand (Int64.lognot w.Wave.mask) t_lanes = 0L ->
+              taint := Taint_none;
+              prov.overwritten <- true
+          | _ -> ()
+        end
+    | _ -> ()
+  in
+
   (* -------------------- group dispatch -------------------- *)
-  let make_mem_ops cu (g_lds : Bytes.t) (view : Geom.group_view) ~cu_id :
-      Wave.mem_ops =
+  let make_mem_ops cu (g : grp) ~cu_id : Wave.mem_ops =
+    let g_lds = g.lds_mem in
+    let view = g.view in
     let lds_check addr what =
       if addr < 0 || addr + 4 > Bytes.length g_lds then
         raise
@@ -294,17 +387,44 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
     ignore cu;
     let lds_read addr =
       lds_check addr "load";
+      if prov_on then
+        (match !taint with
+        | Taint_lds { t_grp; t_addr }
+          when t_grp == g && addr = t_addr && prov.first_use = None ->
+            prov_record_use ()
+        | _ -> ());
       F32.norm (Int32.to_int (Bytes.get_int32_le g_lds addr))
     in
     let lds_write addr v =
       lds_check addr "store";
+      if prov_on then
+        (match !taint with
+        | Taint_lds { t_grp; t_addr } when t_grp == g && addr = t_addr ->
+            (* overwrite refreshes the word; a never-read fault is dead *)
+            taint := Taint_none;
+            if prov.first_use = None then prov.overwritten <- true
+        | _ -> ());
       Bytes.set_int32_le g_lds addr (Int32.of_int v)
+    in
+    let global_load a =
+      if prov_on then begin
+        match !taint with
+        | Taint_l1 when prov.first_use = None ->
+            (* poison is applied on the cached path only: a load whose
+               value differs from the clean image consumed the fault *)
+            let clean = Memsys.read32 ms a in
+            let v = Memsys.load32 ms ~cu:cu_id a in
+            if v <> clean then prov_record_use ();
+            v
+        | _ -> Memsys.load32 ms ~cu:cu_id a
+      end
+      else Memsys.load32 ms ~cu:cu_id a
     in
     {
       mload =
         (fun sp a ->
           match sp with
-          | Global -> Memsys.load32 ms ~cu:cu_id a
+          | Global -> global_load a
           | Local -> lds_read a);
       mstore =
         (fun sp a v ->
@@ -353,7 +473,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
           (fun w ->
             if w.Wave.state <> Wave.Retired then
               slots :=
-                { w; g; mem = make_mem_ops cu g.lds_mem g.view ~cu_id:cu.cu_id; live = true }
+                { w; g; mem = make_mem_ops cu g ~cu_id:cu.cu_id; live = true }
                 :: !slots)
           g.g_waves)
       cu.groups;
@@ -406,7 +526,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                 let flat_base = wi * cfg.wave_size in
                 let nlanes = min cfg.wave_size (group_items - flat_base) in
                 Wave.create ~wid:wi ~nregs:kernel.nregs ~nlanes ~flat_base
-                  ~body:kernel.body ~simd:assign.(wi))
+                  ~body:abody ~simd:assign.(wi))
           in
           let g =
             {
@@ -567,11 +687,14 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
           | Wave.P_barrier_arrived ->
               if arrive_barrier cu s.g ~wid:w.Wave.wid now then events := true
           | Wave.P_waiting ->
-              if tracing then stall s Gpu_trace.Sink.Barrier_wait
+              if tracing then stall s Gpu_trace.Sink.Barrier_wait;
+              if profiling && w.Wave.barrier_site >= 0 then
+                prof.stall_barrier.(w.Wave.barrier_site) <-
+                  prof.stall_barrier.(w.Wave.barrier_site) + 1
           | Wave.P_stall ->
               (* control-flow operand not ready: conservative near wake *)
               note (now + 1)
-          | Wave.P_inst i ->
+          | Wave.P_inst (site, i) ->
               if not (Wave.inst_ready w ~now i) then begin
                 let t =
                   List.fold_left
@@ -582,10 +705,16 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                     (now + 1) (inst_uses i)
                 in
                 if tracing then stall s Gpu_trace.Sink.Scoreboard;
+                if profiling then
+                  prof.stall_scoreboard.(site) <- prof.stall_scoreboard.(site) + 1;
                 note t
               end
               else begin
                 let issue_done = ref false in
+                if prov_on then begin
+                  prov_cur := Some (site, i);
+                  prov_now := now
+                end;
                 (match classify_unit div i with
                 | U_valu ->
                     if (not !valu_used) && cu.simd_busy_until.(simd) <= now
@@ -601,6 +730,12 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       counters.valu_insts <- counters.valu_insts + 1;
                       counters.valu_lane_ops <-
                         counters.valu_lane_ops + Wave.active_lanes w;
+                      (* charge the profile before any trap can raise so a
+                         Detected run still reconciles with [Counters] *)
+                      if profiling then begin
+                        prof.issues.(site) <- prof.issues.(site) + 1;
+                        prof.valu_busy.(site) <- prof.valu_busy.(site) + busy
+                      end;
                       (match inst_def i with
                       | Some d -> w.Wave.ready_at.(d) <- now + busy
                       | None -> ());
@@ -608,6 +743,12 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       | Wave.E_trap true ->
                           incr detections;
                           detected_at := Some now;
+                          if prov_on then begin
+                            prov_check_inst w i;
+                            prov.detect_site <- site;
+                            prov.detect_cycle <- now;
+                            prov.detect_inst_index <- issued_insts ()
+                          end;
                           Log.info (fun m ->
                               m
                                 "cycle %d: output comparison trapped (CU %d, \
@@ -621,6 +762,9 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                     end
                     else begin
                       if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      if profiling then
+                        prof.stall_unit_busy.(site) <-
+                          prof.stall_unit_busy.(site) + 1;
                       note cu.simd_busy_until.(simd)
                     end
                 | U_salu ->
@@ -629,6 +773,10 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       cu.salu_busy_until <- now + 1;
                       counters.salu_busy <- counters.salu_busy + 1;
                       counters.salu_insts <- counters.salu_insts + 1;
+                      if profiling then begin
+                        prof.issues.(site) <- prof.issues.(site) + 1;
+                        prof.salu_busy.(site) <- prof.salu_busy.(site) + 1
+                      end;
                       (match inst_def i with
                       | Some d -> w.Wave.ready_at.(d) <- now + cfg.salu_latency
                       | None -> ());
@@ -638,6 +786,9 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                     end
                     else begin
                       if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      if profiling then
+                        prof.stall_unit_busy.(site) <-
+                          prof.stall_unit_busy.(site) + 1;
                       note cu.salu_busy_until
                     end
                 | U_lds ->
@@ -647,6 +798,11 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       counters.lds_busy <-
                         counters.lds_busy + cfg.lds_issue_cycles;
                       counters.lds_insts <- counters.lds_insts + 1;
+                      if profiling then begin
+                        prof.issues.(site) <- prof.issues.(site) + 1;
+                        prof.lds_busy.(site) <-
+                          prof.lds_busy.(site) + cfg.lds_issue_cycles
+                      end;
                       (match eff with
                       | Wave.E_mem m ->
                           counters.lds_lane_ops <-
@@ -664,6 +820,9 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                     end
                     else begin
                       if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      if profiling then
+                        prof.stall_unit_busy.(site) <-
+                          prof.stall_unit_busy.(site) + 1;
                       note cu.lds_busy_until
                     end
                 | U_vmem ->
@@ -673,6 +832,9 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                     if !vmem_used || Memsys.(ms.mem_busy_until.(cu.cu_id)) > now
                     then begin
                       if tracing then stall s Gpu_trace.Sink.Unit_busy;
+                      if profiling then
+                        prof.stall_unit_busy.(site) <-
+                          prof.stall_unit_busy.(site) + 1;
                       note Memsys.(ms.mem_busy_until.(cu.cu_id))
                     end
                     else if
@@ -689,9 +851,15 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       if until > from then begin
                         counters.write_stalled <-
                           counters.write_stalled + (until - from);
+                        if profiling then
+                          prof.write_stalled.(site) <-
+                            prof.write_stalled.(site) + (until - from);
                         cu.wstall_counted_until <- until
                       end;
                       if tracing then stall s Gpu_trace.Sink.Write_backlog;
+                      if profiling then
+                        prof.stall_write_backlog.(site) <-
+                          prof.stall_write_backlog.(site) + 1;
                       note until
                     end
                     else begin
@@ -710,6 +878,11 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                           counters.mem_unit_busy <-
                             counters.mem_unit_busy + busy;
                           counters.vmem_insts <- counters.vmem_insts + 1;
+                          if profiling then begin
+                            prof.issues.(site) <- prof.issues.(site) + 1;
+                            prof.mem_unit_busy.(site) <-
+                              prof.mem_unit_busy.(site) + busy
+                          end;
                           (match i with
                           | Atomic (A_poll, _, _, _, _) ->
                               (* every active lane's flag poll is one spin
@@ -717,6 +890,9 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                                  own slot) *)
                               counters.spin_iterations <-
                                 counters.spin_iterations + m.lanes;
+                              if profiling then
+                                prof.spin_iterations.(site) <-
+                                  prof.spin_iterations.(site) + m.lanes;
                               if tracing then stall s Gpu_trace.Sink.Spin
                           | _ -> ());
                           if tracing then issued s Gpu_trace.Sink.Vmem busy;
@@ -725,7 +901,34 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                               counters.global_load_insts <-
                                 counters.global_load_insts + 1;
                               let t =
-                                Memsys.load_timed ms ~cu:cu.cu_id ~now m.lines
+                                if profiling then begin
+                                  (* attribute the cache outcome of this
+                                     load by delta over the shared
+                                     counters, which [load_timed] bumps
+                                     internally *)
+                                  let h1 = counters.l1_hits
+                                  and s1 = counters.l1_misses
+                                  and h2 = counters.l2_hits
+                                  and s2 = counters.l2_misses in
+                                  let t =
+                                    Memsys.load_timed ms ~cu:cu.cu_id ~now
+                                      m.lines
+                                  in
+                                  prof.l1_hits.(site) <-
+                                    prof.l1_hits.(site)
+                                    + (counters.l1_hits - h1);
+                                  prof.l1_misses.(site) <-
+                                    prof.l1_misses.(site)
+                                    + (counters.l1_misses - s1);
+                                  prof.l2_hits.(site) <-
+                                    prof.l2_hits.(site)
+                                    + (counters.l2_hits - h2);
+                                  prof.l2_misses.(site) <-
+                                    prof.l2_misses.(site)
+                                    + (counters.l2_misses - s2);
+                                  t
+                                end
+                                else Memsys.load_timed ms ~cu:cu.cu_id ~now m.lines
                               in
                               (match inst_def i with
                               | Some d -> w.Wave.ready_at.(d) <- t
@@ -747,6 +950,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                       issue_done := true
                     end);
                 if !issue_done then begin
+                  if prov_on then prov_check_inst w i;
                   Wave.consume w;
                   w.Wave.last_issue <- now;
                   note (now + 1)
@@ -780,6 +984,20 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
             let bit = rand 32 in
             let v = Wave.get_reg s.w r lane in
             Wave.set_reg s.w r lane (F32.norm (v lxor (1 lsl bit)));
+            if prov_on then begin
+              taint :=
+                Taint_reg
+                  {
+                    t_wave = s.w;
+                    t_reg = r;
+                    t_lanes = Int64.shift_left 1L lane;
+                  };
+              prov.target <- Some Prov.S_vgpr;
+              prov.bit <- bit;
+              prov.desc <-
+                Printf.sprintf "v%d lane %d (group %d, wave %d)" r lane
+                  s.g.g_index s.w.Wave.wid
+            end;
             true)
     | T_sgpr -> (
         match resident_slots () with
@@ -799,6 +1017,16 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                 let v = Wave.get_reg s.w r lane in
                 Wave.set_reg s.w r lane (F32.norm (v lxor (1 lsl bit)))
               done;
+              if prov_on then begin
+                taint :=
+                  Taint_reg
+                    { t_wave = s.w; t_reg = r; t_lanes = s.w.Wave.full_mask };
+                prov.target <- Some Prov.S_sgpr;
+                prov.bit <- bit;
+                prov.desc <-
+                  Printf.sprintf "s%d all lanes (group %d, wave %d)" r
+                    s.g.g_index s.w.Wave.wid
+              end;
               true
             end)
     | T_lds -> (
@@ -817,11 +1045,30 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
               let bit = rand 8 in
               let c = Char.code (Bytes.get g.lds_mem byte) in
               Bytes.set g.lds_mem byte (Char.chr (c lxor (1 lsl bit)));
+              if prov_on then begin
+                taint := Taint_lds { t_grp = g; t_addr = byte land lnot 3 };
+                prov.target <- Some Prov.S_lds;
+                prov.bit <- ((byte land 3) * 8) + bit;
+                prov.desc <-
+                  Printf.sprintf "LDS byte %d (group %d)" byte g.g_index
+              end;
               true
             end)
     | T_l1 ->
         let cu = rand cfg.n_cus in
-        Memsys.inject_l1_poison ms ~cu ~seed:(rand 1_000_000_007)
+        let ok = Memsys.inject_l1_poison ms ~cu ~seed:(rand 1_000_000_007) in
+        if ok && prov_on then begin
+          taint := Taint_l1;
+          (match ms.Memsys.poison with
+          | Some p ->
+              prov.target <- Some Prov.S_l1;
+              prov.bit <- p.Memsys.p_bit;
+              prov.desc <-
+                Printf.sprintf "L1 line %d word %d (CU %d)" p.Memsys.p_line
+                  p.Memsys.p_word p.Memsys.p_cu
+          | None -> ())
+        end;
+        ok
   in
 
   (* -------------------- main loop -------------------- *)
@@ -845,6 +1092,10 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
              if try_inject p.target then begin
                inject_applied := true;
                injected_at := Some now;
+               if prov_on then begin
+                 prov.inject_cycle <- now;
+                 prov.inject_inst_index <- issued_insts ()
+               end;
                Log.info (fun m -> m "cycle %d: fault injected" now);
                inject_pending := None
              end

@@ -85,6 +85,19 @@ type launch_opts = {
   trace : Gpu_trace.Sink.t option;
       (** scheduler-event sink ([None], the default, adds no work to the
           issue loop; events never perturb timing or counters) *)
+  profile : Gpu_prof.Collector.t option;
+      (** per-site profile collector, sized to {!Gpu_ir.Site.count} of
+          the launched kernel ([invalid_arg] otherwise); [None], the
+          default, keeps the issue loop free of per-site charging. The
+          collector's cycle-exact fields are charged at the same program
+          points as the matching {!Counters} fields, so per-site sums
+          reconcile exactly with the run totals. Profiling never
+          perturbs timing, counters or results. *)
+  provenance : Gpu_prof.Provenance.t option;
+      (** fault-propagation record for an injected run: structure and
+          bit of the flip, first consuming instruction site, overwrite
+          (dead-value) masking, and flip-to-detect distance in dynamic
+          instructions and cycles *)
   scan_every_cycle : bool;
       (** debug: disable idle skip-ahead and scan every CU every cycle;
           timing-equivalent but much slower (cross-checks stall spans) *)

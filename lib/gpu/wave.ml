@@ -18,12 +18,13 @@
 
 open Gpu_ir.Types
 module F32 = Gpu_ir.F32
+module Site = Gpu_ir.Site
 
 type cont =
-  | K_stmts of stmt list
+  | K_stmts of Site.astmt list
   | K_restore of int64
-  | K_set_mask of int64 * stmt list
-  | K_loop of stmt list * value * stmt list * int64
+  | K_set_mask of int64 * Site.astmt list
+  | K_loop of Site.astmt list * value * Site.astmt list * int64
       (** header, condition, body, saved mask; reached = "test now" *)
 
 type state = Running | At_barrier | Retired
@@ -37,7 +38,7 @@ type t = {
   mutable mask : int64;
   full_mask : int64;
   mutable stack : cont list;
-  mutable pending : inst option;
+  mutable pending : (Site.id * inst) option;
   mutable state : state;
   mutable simd : int;
   mutable last_issue : int;  (** cycle of last issue, for fairness *)
@@ -45,6 +46,9 @@ type t = {
       (** set once the scheduler has released this wave's resources; a wave
           can appear in two scheduler arrays across a rebuild, so release
           must be idempotent *)
+  mutable barrier_site : int;
+      (** site id of the last barrier this wave arrived at (-1 before the
+          first); lets the profiler attribute barrier-wait observations *)
 }
 
 let lane_bit lane = Int64.shift_left 1L lane
@@ -75,6 +79,7 @@ let create ~wid ~nregs ~nlanes ~flat_base ~body ~simd =
     simd;
     last_issue = 0;
     retire_accounted = false;
+    barrier_site = -1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -104,7 +109,9 @@ let inst_ready t ~now (i : inst) =
 (* ------------------------------------------------------------------ *)
 
 type peek_result =
-  | P_inst of inst  (** next instruction, ready to be considered for issue *)
+  | P_inst of Site.id * inst
+      (** next instruction (with its static site id), ready to be
+          considered for issue *)
   | P_stall         (** waiting on a register for control flow *)
   | P_barrier_arrived  (** wave just reached a barrier *)
   | P_waiting       (** parked at a barrier *)
@@ -135,7 +142,7 @@ let rec peek ?(fuel = 256) t ~now ~on_branch =
   | At_barrier -> P_waiting
   | Running -> (
       match t.pending with
-      | Some i -> P_inst i
+      | Some (sid, i) -> P_inst (sid, i)
       | None -> (
           match t.stack with
           | [] ->
@@ -173,19 +180,20 @@ let rec peek ?(fuel = 256) t ~now ~on_branch =
               end
           | K_stmts (s :: ss) :: rest -> (
               match s with
-              | I Barrier ->
+              | Site.A_inst (sid, Barrier) ->
                   t.stack <- K_stmts ss :: rest;
                   t.state <- At_barrier;
+                  t.barrier_site <- sid;
                   P_barrier_arrived
-              | I (Fence _) ->
+              | Site.A_inst (_, Fence _) ->
                   (* ordering is implicit in the issue-time memory model *)
                   t.stack <- K_stmts ss :: rest;
                   peek t ~now ~on_branch
-              | I i ->
+              | Site.A_inst (sid, i) ->
                   t.stack <- K_stmts ss :: rest;
-                  t.pending <- Some i;
-                  P_inst i
-              | If (c, th, el) ->
+                  t.pending <- Some (sid, i);
+                  P_inst (sid, i)
+              | Site.A_if (c, th, el) ->
                   if not (value_ready t ~now c) then P_stall
                   else begin
                     on_branch ();
@@ -210,7 +218,7 @@ let rec peek ?(fuel = 256) t ~now ~on_branch =
                      end);
                     peek t ~now ~on_branch
                   end
-              | While (h, c, b) ->
+              | Site.A_while (h, c, b) ->
                   on_branch ();
                   t.stack <-
                     K_stmts h

@@ -6,12 +6,13 @@
     and executed functionally at issue time by {!exec}. *)
 
 open Gpu_ir.Types
+module Site = Gpu_ir.Site
 
 type cont =
-  | K_stmts of stmt list
+  | K_stmts of Site.astmt list
   | K_restore of int64
-  | K_set_mask of int64 * stmt list
-  | K_loop of stmt list * value * stmt list * int64
+  | K_set_mask of int64 * Site.astmt list
+  | K_loop of Site.astmt list * value * Site.astmt list * int64
 
 type state = Running | At_barrier | Retired
 
@@ -24,16 +25,20 @@ type t = {
   mutable mask : int64;
   full_mask : int64;
   mutable stack : cont list;
-  mutable pending : inst option;
+  mutable pending : (Site.id * inst) option;
   mutable state : state;
   mutable simd : int;
   mutable last_issue : int;
   mutable retire_accounted : bool;
+  mutable barrier_site : int;
+      (** site id of the last barrier arrived at (-1 before the first) *)
 }
 
 val create :
-  wid:int -> nregs:int -> nlanes:int -> flat_base:int -> body:stmt list ->
-  simd:int -> t
+  wid:int -> nregs:int -> nlanes:int -> flat_base:int ->
+  body:Site.astmt list -> simd:int -> t
+(** [body] is the kernel body annotated by {!Gpu_ir.Site.annotate}; the
+    device annotates once per launch and shares the tree across waves. *)
 
 val get_reg : t -> reg -> int -> int
 val set_reg : t -> reg -> int -> int -> unit
@@ -44,7 +49,7 @@ val popcount64 : int64 -> int
 val active_lanes : t -> int
 
 type peek_result =
-  | P_inst of inst
+  | P_inst of Site.id * inst
   | P_stall
   | P_barrier_arrived
   | P_waiting

@@ -500,12 +500,23 @@ let coverage_experiment ctx (b : Kernels.Bench.t) variant : Fault.Campaign.exper
   {
     Fault.Campaign.run =
       (fun ~inject ->
-        let s = Run.run ~cfg:ctx.cfg ~max_cycles ?inject b variant in
+        (* each injected run gets its own provenance record so the
+           campaign can report where flips landed and how far they
+           propagated before detection *)
+        let prov =
+          match inject with
+          | Some _ -> Some (Gpu_prof.Provenance.create ())
+          | None -> None
+        in
+        let s =
+          Run.run ~cfg:ctx.cfg ~max_cycles ?inject ?provenance:prov b variant
+        in
         {
           Fault.Campaign.oc = s.Run.outcome;
           output_ok = s.Run.verified;
           applied = s.Run.inject_applied;
           latency = s.Run.detection_latency;
+          prov;
         });
     golden_cycles = golden.Run.cycles;
   }
@@ -541,13 +552,19 @@ let coverage ctx =
           List.iter
             (fun (target, tname) ->
               progress "  injecting %-8s %-16s %s" b.id name tname;
-              let t =
-                Fault.Campaign.run ~n ~map:(Pool.map ctx.pool) ~target
-                  ~seed:1234 e
+              let obs =
+                Fault.Campaign.run_observations ~n ~map:(Pool.map ctx.pool)
+                  ~target ~seed:1234 e
               in
+              let t = Fault.Campaign.tally_of_observations obs in
               Report.row buf "%-8s %-12s %-6s %s%s" b.id name tname
                 (Fault.Campaign.tally_to_string t)
-                (if Fault.Campaign.covered t then "  [covered]" else ""))
+                (if Fault.Campaign.covered t then "  [covered]" else "");
+              let psum = Fault.Campaign.provenance_summary obs in
+              if psum <> "" then
+                String.split_on_char '\n' psum
+                |> List.iter (fun l ->
+                       if String.trim l <> "" then Report.row buf "    %s" l))
             [
               (Gpu_sim.Device.T_vgpr, "VGPR");
               (Gpu_sim.Device.T_sgpr, "SGPR");

@@ -89,8 +89,25 @@ let rev () =
         | _ -> "dev"
       with _ -> "dev")
 
+(* Atomic: write to a temp file in the destination directory, then
+   rename over the target, so a reader (or a crashed writer) never sees
+   a half-written trajectory file. Same-directory rename keeps the
+   operation on one filesystem. *)
 let write_file path json =
-  let oc = open_out path in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  (try
+     output_string oc (Json.to_string json);
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

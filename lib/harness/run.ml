@@ -51,10 +51,16 @@ let transformed_kernel ?(optimize = false) (bench : Kernels.Bench.t) variant
     @param inject a fault plan, interpreted against cumulative cycles
     @param trace a scheduler-event sink; multi-pass launches are spliced
     into one monotonic stream by offsetting each pass's events by the
-    cycles already simulated *)
+    cycles already simulated
+    @param profile a per-site collector sized for this benchmark's
+    transformed kernel; every pass charges into the same collector
+    (passes all run the same kernel, hence the same site numbering)
+    @param provenance a fault-propagation record, filled by the pass in
+    which [inject] lands *)
 let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
-    ?window_cycles ?max_cycles ?usage_override ?inject ?trace
-    (bench : Kernels.Bench.t) (variant : Transform.variant) : summary =
+    ?window_cycles ?max_cycles ?usage_override ?inject ?trace ?profile
+    ?provenance (bench : Kernels.Bench.t) (variant : Transform.variant) :
+    summary =
   let dev = Device.create cfg in
   let prep = bench.prepare dev ~scale in
   let nd0 =
@@ -96,6 +102,8 @@ let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
              max_cycles;
              inject = step_inject;
              trace = step_trace;
+             profile;
+             provenance;
            }
          in
          let nd = Transform.map_ndrange variant step.Kernels.Bench.nd in
@@ -140,6 +148,33 @@ let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
     inject_applied = !injected;
     detection_latency = !latency;
   }
+
+(** Run [bench] under [variant] with a freshly sized per-site profile
+    collector. Returns the summary, the transformed kernel the device
+    executed (the listing the site ids index) and the filled collector —
+    everything the annotated-profile renderer needs. *)
+let run_profiled ?(cfg = Gpu_sim.Config.default) ?(scale = 1)
+    ?(optimize = false) ?window_cycles ?max_cycles (bench : Kernels.Bench.t)
+    (variant : Transform.variant) :
+    summary * Gpu_ir.Types.kernel * Gpu_prof.Collector.t =
+  (* Rebuild the transformed kernel exactly as [run] will, to size the
+     collector; the throwaway device only serves [prepare]'s geometry. *)
+  let dev = Device.create cfg in
+  let prep = bench.prepare dev ~scale in
+  let nd0 =
+    match prep.steps with
+    | s :: _ -> s.Kernels.Bench.nd
+    | [] -> invalid_arg "benchmark produced no launch steps"
+  in
+  let kernel = transformed_kernel ~optimize bench variant ~nd:nd0 in
+  let collector =
+    Gpu_prof.Collector.create ~nsites:(Gpu_ir.Site.count kernel)
+  in
+  let s =
+    run ~cfg ~scale ~optimize ?window_cycles ?max_cycles ~profile:collector
+      bench variant
+  in
+  (s, kernel, collector)
 
 (** Slowdown of [v] relative to [base] (runtimes in cycles). A
     zero-cycle baseline means the base run never executed — report the

@@ -39,11 +39,28 @@ val run :
   ?usage_override:Gpu_ir.Regpressure.usage ->
   ?inject:Gpu_sim.Device.inject_plan ->
   ?trace:Gpu_trace.Sink.t ->
+  ?profile:Gpu_prof.Collector.t ->
+  ?provenance:Gpu_prof.Provenance.t ->
   Kernels.Bench.t ->
   Rmt_core.Transform.variant ->
   summary
 (** [trace] receives the scheduler events of every launch, spliced into
-    one stream by offsetting each pass by the cycles already simulated. *)
+    one stream by offsetting each pass by the cycles already simulated.
+    [profile] must be sized for this benchmark's transformed kernel
+    (every pass charges the same collector). [provenance] is filled by
+    the pass in which [inject] lands. *)
+
+val run_profiled :
+  ?cfg:Gpu_sim.Config.t ->
+  ?scale:int ->
+  ?optimize:bool ->
+  ?window_cycles:int ->
+  ?max_cycles:int ->
+  Kernels.Bench.t ->
+  Rmt_core.Transform.variant ->
+  summary * Gpu_ir.Types.kernel * Gpu_prof.Collector.t
+(** Run with a freshly sized per-site collector; returns the summary,
+    the transformed kernel the site ids index, and the collector. *)
 
 val run_naive_duplication :
   ?cfg:Gpu_sim.Config.t -> ?scale:int -> Kernels.Bench.t -> summary

@@ -1,0 +1,83 @@
+(** Stable per-instruction site identifiers.
+
+    A {e site} is one static instruction of a kernel body. Sites are
+    numbered densely in program order — the order {!Types.iter_inst}
+    visits instructions ([If]: then-branch before else-branch; [While]:
+    header before body) — so the same kernel always yields the same
+    numbering, two structurally equal kernels agree on every id, and an
+    annotated listing can be reproduced from the kernel alone.
+
+    The per-instruction profiler keys its accumulators by site id: the
+    wavefront interpreter executes a site-annotated copy of the body
+    ({!astmt}) so the device knows, at issue time, which static
+    instruction it is charging cycles to, without the IR itself (or any
+    transform pass) having to carry ids around. *)
+
+open Types
+
+(** A site id: a dense index in [0 .. count kernel - 1]. *)
+type id = int
+
+(** The statement tree with every instruction tagged by its site id.
+    Mirrors {!Types.stmt} exactly; control structure carries no id (the
+    interpreter's branch bookkeeping is not attributable to one
+    instruction). *)
+type astmt =
+  | A_inst of id * inst
+  | A_if of value * astmt list * astmt list
+  | A_while of astmt list * value * astmt list
+
+(** [annotate body] tags every instruction with a fresh id in program
+    order and returns the annotated tree plus the number of sites. *)
+let annotate (body : stmt list) : astmt list * int =
+  let next = ref 0 in
+  let fresh () =
+    let i = !next in
+    incr next;
+    i
+  in
+  let rec go ss =
+    List.map
+      (fun s ->
+        match s with
+        | I i -> A_inst (fresh (), i)
+        | If (c, t, e) ->
+            (* force evaluation order: ids must follow program order *)
+            let t' = go t in
+            let e' = go e in
+            A_if (c, t', e')
+        | While (h, c, b) ->
+            let h' = go h in
+            let b' = go b in
+            A_while (h', c, b'))
+      ss
+  in
+  let r = go body in
+  (r, !next)
+
+(** Number of instruction sites in [k]'s body. *)
+let count (k : kernel) : int =
+  let n = ref 0 in
+  iter_inst (fun _ -> incr n) k.body;
+  !n
+
+(** [insts k] maps site id to instruction, in program order
+    (element [i] is site [i]'s instruction). *)
+let insts (k : kernel) : inst array =
+  let acc = ref [] in
+  iter_inst (fun i -> acc := i :: !acc) k.body;
+  Array.of_list (List.rev !acc)
+
+(** [iter f annotated] applies [f id inst] to every site in id order. *)
+let rec iter f (body : astmt list) =
+  List.iter
+    (fun s ->
+      match s with
+      | A_inst (id, i) -> f id i
+      | A_if (_, t, e) ->
+          iter f t;
+          iter f e
+      | A_while (h, _, b) ->
+          iter f h;
+          iter f b)
+    body

@@ -1,0 +1,33 @@
+(** Stable per-instruction site identifiers.
+
+    A {e site} is one static instruction of a kernel body, numbered
+    densely in program order (the {!Types.iter_inst} order), so the same
+    kernel always yields the same numbering. The wavefront interpreter
+    executes a site-annotated copy of the body so the device can charge
+    cycles, stalls and cache behaviour to individual static
+    instructions. *)
+
+open Types
+
+type id = int
+(** A dense index in [0 .. count kernel - 1]. *)
+
+(** {!Types.stmt} with every instruction tagged by its site id. *)
+type astmt =
+  | A_inst of id * inst
+  | A_if of value * astmt list * astmt list
+  | A_while of astmt list * value * astmt list
+
+val annotate : stmt list -> astmt list * int
+(** Tag every instruction with a fresh id in program order; also returns
+    the number of sites. Deterministic: structurally equal bodies get
+    identical numberings. *)
+
+val count : kernel -> int
+(** Number of instruction sites in the kernel body. *)
+
+val insts : kernel -> inst array
+(** Site id -> instruction, in program order. *)
+
+val iter : (id -> inst -> unit) -> astmt list -> unit
+(** Apply to every site in id order. *)

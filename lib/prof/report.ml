@@ -1,0 +1,153 @@
+(** Annotated-listing renderer: per-instruction profile views in the
+    style of CodeXL's ISA view — every static instruction with its share
+    of execution-unit busy cycles, stall observations and memory
+    behaviour — plus a hot-spot table and a JSON export. *)
+
+open Gpu_ir
+module Json = Gpu_trace.Json
+
+let pct part total = if total = 0 then 0.0 else 100.0 *. float part /. float total
+
+(* One formatted stat prefix for an instruction site. *)
+let site_columns (c : Collector.t) total sid =
+  let busy = Collector.busy c sid in
+  let stalls =
+    let parts = ref [] in
+    let add tag n = if n > 0 then parts := Printf.sprintf "%s:%d" tag n :: !parts in
+    add "bar" c.stall_barrier.(sid);
+    add "wb" c.stall_write_backlog.(sid);
+    add "ub" c.stall_unit_busy.(sid);
+    add "sb" c.stall_scoreboard.(sid);
+    if !parts = [] then "-" else String.concat " " !parts
+  in
+  let mem =
+    let l1 = c.l1_hits.(sid) + c.l1_misses.(sid) in
+    let parts = ref [] in
+    if l1 > 0 then
+      parts :=
+        Printf.sprintf "L1 %.0f%% of %d" (pct c.l1_hits.(sid) l1) l1 :: !parts;
+    if c.spin_iterations.(sid) > 0 then
+      parts := Printf.sprintf "spin:%d" c.spin_iterations.(sid) :: !parts;
+    if c.write_stalled.(sid) > 0 then
+      parts := Printf.sprintf "wstall:%d" c.write_stalled.(sid) :: !parts;
+    if !parts = [] then "" else String.concat " " (List.rev !parts)
+  in
+  Printf.sprintf "%6.2f%% %10d %8d  %-18s %-22s" (pct busy total) busy
+    c.issues.(sid) stalls mem
+
+let blank_columns = String.make (String.length (Printf.sprintf "%6.2f%% %10d %8d  %-18s %-22s" 0.0 0 0 "" "")) ' '
+
+let header =
+  Printf.sprintf "%7s %10s %8s  %-18s %-22s | %s" "cycle" "busy" "issues"
+    "stalls" "memory" "instruction"
+
+(** Render the kernel body with per-line profile columns. Site ids are
+    assigned by re-annotating the body, which by construction matches
+    the numbering the device charged against. *)
+let annotated_listing (k : Types.kernel) (c : Collector.t) : string =
+  let abody, nsites = Site.annotate k.Types.body in
+  if nsites <> c.Collector.nsites then
+    invalid_arg "Report.annotated_listing: collector sized for a different kernel";
+  let total = Collector.total_busy c in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "kernel %s: %d sites, %d unit-busy cycles total\n"
+       k.Types.kname nsites total);
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  let line cols depth text =
+    Buffer.add_string b cols;
+    Buffer.add_string b " | ";
+    Buffer.add_string b (String.make (2 * depth) ' ');
+    Buffer.add_string b text;
+    Buffer.add_char b '\n'
+  in
+  let rec go depth stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Site.A_inst (sid, i) ->
+            line (site_columns c total sid) depth (Pp.string_of_inst i)
+        | Site.A_if (cond, t, e) ->
+            line blank_columns depth
+              (Printf.sprintf "if %s {" (Pp.string_of_value cond));
+            go (depth + 1) t;
+            if e <> [] then begin
+              line blank_columns depth "} else {";
+              go (depth + 1) e
+            end;
+            line blank_columns depth "}"
+        | Site.A_while (h, cond, body) ->
+            line blank_columns depth "loop {";
+            go (depth + 1) h;
+            line blank_columns (depth + 1)
+              (Printf.sprintf "while %s" (Pp.string_of_value cond));
+            go (depth + 1) body;
+            line blank_columns depth "}")
+      stmts
+  in
+  go 0 abody;
+  Buffer.contents b
+
+(** Top [n] sites by unit-busy cycles. *)
+let hotspots ?(n = 8) (k : Types.kernel) (c : Collector.t) : string =
+  let insts = Site.insts k in
+  if Array.length insts <> c.Collector.nsites then
+    invalid_arg "Report.hotspots: collector sized for a different kernel";
+  let total = Collector.total_busy c in
+  let sites = Array.init c.Collector.nsites (fun i -> i) in
+  Array.sort (fun a bb -> compare (Collector.busy c bb) (Collector.busy c a)) sites;
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "hot spots (top %d of %d sites by busy cycles)\n"
+       (min n c.Collector.nsites) c.Collector.nsites);
+  let shown = ref 0 in
+  Array.iter
+    (fun sid ->
+      if !shown < n && Collector.busy c sid > 0 then begin
+        incr shown;
+        Buffer.add_string b
+          (Printf.sprintf "  #%-2d site %-3d %6.2f%% %10d cy  %s\n" !shown sid
+             (pct (Collector.busy c sid) total)
+             (Collector.busy c sid)
+             (Pp.string_of_inst insts.(sid)))
+      end)
+    sites;
+  if !shown = 0 then Buffer.add_string b "  (no busy cycles recorded)\n";
+  Buffer.contents b
+
+let to_json (k : Types.kernel) (c : Collector.t) : Json.t =
+  let insts = Site.insts k in
+  if Array.length insts <> c.Collector.nsites then
+    invalid_arg "Report.to_json: collector sized for a different kernel";
+  let site_obj sid =
+    Json.Obj
+      [
+        ("site", Json.Int sid);
+        ("inst", Json.Str (Pp.string_of_inst insts.(sid)));
+        ("issues", Json.Int c.issues.(sid));
+        ("valu_busy", Json.Int c.valu_busy.(sid));
+        ("salu_busy", Json.Int c.salu_busy.(sid));
+        ("mem_unit_busy", Json.Int c.mem_unit_busy.(sid));
+        ("lds_busy", Json.Int c.lds_busy.(sid));
+        ("write_stalled", Json.Int c.write_stalled.(sid));
+        ("spin_iterations", Json.Int c.spin_iterations.(sid));
+        ("stall_scoreboard", Json.Int c.stall_scoreboard.(sid));
+        ("stall_unit_busy", Json.Int c.stall_unit_busy.(sid));
+        ("stall_write_backlog", Json.Int c.stall_write_backlog.(sid));
+        ("stall_barrier", Json.Int c.stall_barrier.(sid));
+        ("l1_hits", Json.Int c.l1_hits.(sid));
+        ("l1_misses", Json.Int c.l1_misses.(sid));
+        ("l2_hits", Json.Int c.l2_hits.(sid));
+        ("l2_misses", Json.Int c.l2_misses.(sid));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "rmtgpu-profile-v1");
+      ("kernel", Json.Str k.Types.kname);
+      ("nsites", Json.Int c.Collector.nsites);
+      ("total_busy", Json.Int (Collector.total_busy c));
+      ( "sites",
+        Json.List (List.init c.Collector.nsites site_obj) );
+    ]

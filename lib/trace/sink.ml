@@ -73,22 +73,37 @@ let with_offset off sink =
 (* Collector                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** In-memory collector (the only sink the CLI needs). *)
-type collector = { mutable rev_events : record list; mutable count : int }
+(** In-memory collector (the only sink the CLI needs). [cap] bounds the
+    retained records — spin-heavy Inter-Group runs can emit millions of
+    stall events; with a cap the collector keeps the first [cap] records
+    and counts the rest as dropped instead of growing without bound. *)
+type collector = {
+  mutable rev_events : record list;
+  mutable count : int;  (** events emitted, including dropped ones *)
+  cap : int option;
+  mutable dropped : int;
+}
 
-let collector () = { rev_events = []; count = 0 }
+let collector ?cap () =
+  (match cap with
+  | Some c when c < 0 -> invalid_arg "Sink.collector: negative cap"
+  | _ -> ());
+  { rev_events = []; count = 0; cap; dropped = 0 }
 
 let of_collector c =
   {
     emit =
       (fun ~at ev ->
-        c.rev_events <- { at; ev } :: c.rev_events;
-        c.count <- c.count + 1);
+        c.count <- c.count + 1;
+        match c.cap with
+        | Some cap when c.count - c.dropped > cap -> c.dropped <- c.dropped + 1
+        | _ -> c.rev_events <- { at; ev } :: c.rev_events);
   }
 
 let count c = c.count
+let dropped c = c.dropped
 
-(** Collected records in emission order. *)
+(** Collected records in emission order (at most [cap] of them). *)
 let records c = List.rev c.rev_events
 
 (* ------------------------------------------------------------------ *)
@@ -111,3 +126,15 @@ let event_to_string = function
         (stall_name cause)
 
 let record_to_string r = Printf.sprintf "%d: %s" r.at (event_to_string r.ev)
+
+(** Streaming sink: renders each record as one text line straight to a
+    channel, retaining nothing — constant memory regardless of how many
+    events a run emits. The caller owns the channel (and flushes or
+    closes it after the run). *)
+let of_channel oc =
+  {
+    emit =
+      (fun ~at ev ->
+        output_string oc (record_to_string { at; ev });
+        output_char oc '\n');
+  }

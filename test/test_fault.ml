@@ -19,7 +19,9 @@ let test_tally_bookkeeping () =
   check Alcotest.bool "sdc blocks coverage" false (C.covered t)
 
 let test_classification () =
-  let obs oc output_ok = { C.oc; output_ok; applied = true; latency = None } in
+  let obs oc output_ok =
+    { C.oc; output_ok; applied = true; latency = None; prov = None }
+  in
   check Alcotest.bool "detected" true
     (C.classify (obs Sim.Device.Detected false) = C.O_detected);
   check Alcotest.bool "masked" true

@@ -14,4 +14,5 @@ let () =
       ("parse", Test_parse.suite);
       ("tmr", Test_tmr.suite);
       ("trace", Test_trace.suite);
+      ("prof", Test_prof.suite);
     ]

@@ -149,6 +149,7 @@ let test_campaign_map_equivalence () =
             output_ok = not sdc;
             applied = plan.Gpu_sim.Device.at_cycle mod 5 <> 0;
             latency = None;
+            prov = None;
           });
       golden_cycles = 10_000;
     }
