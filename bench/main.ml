@@ -92,6 +92,7 @@ let micro_tests () =
               mcas = (fun _ _ _ _ -> 0);
               arg = (fun _ -> 0);
               lds_base = (fun _ -> 0);
+              msan = None;
               view =
                 {
                   Gpu_sim.Geom.nd = Gpu_sim.Geom.make_ndrange 64 64;

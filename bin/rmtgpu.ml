@@ -12,8 +12,15 @@
                                  (with propagation provenance)
      perfdiff <old> <new>        diff two BENCH_<rev>.json trajectories;
                                  exit 1 when a threshold is crossed
+     check   <bench|file.rgk> [target]  static SoR-invariant check + dynamic
+                                 sanitizer run (.rgk files: static only);
+                                 exit 1 on findings
      exp     <name>              regenerate one table/figure (table1..fig9,
-                                 coverage, all) *)
+                                 coverage, all)
+
+   Exit codes are uniform: 0 success, 1 findings/regressions in otherwise
+   valid invocations, 2 usage errors (unknown subcommand, argument or
+   input file problems; usage is printed to stderr). *)
 
 module T = Rmt_core.Transform
 
@@ -186,6 +193,78 @@ let do_perfdiff old_path new_path wall_tol counter_tol =
       Printf.eprintf "perfdiff: %s\n" msg;
       exit 2
 
+(* ---------------- check ---------------- *)
+
+let check_target_conv =
+  let parse s =
+    match Harness.Check.target_of_string s with
+    | Some t -> Ok (String.lowercase_ascii s, t)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown check target %s (one of: %s)" s
+               (String.concat ", "
+                  (List.map fst Harness.Check.standard_targets))))
+  in
+  let print fmt (label, _) = Format.pp_print_string fmt label in
+  Cmdliner.Arg.conv (parse, print)
+
+(* The check subject is a registry benchmark id or a path to an .rgk
+   kernel file; files get the static contract check only (no argument
+   harness to run them under the sanitizer). *)
+let do_check subject target scale local json_out =
+  let targets =
+    match target with
+    | Some t -> [ t ]
+    | None -> Harness.Check.standard_targets
+  in
+  let report =
+    if Filename.check_suffix subject ".rgk" || Sys.file_exists subject then (
+      let src =
+        try In_channel.with_open_text subject In_channel.input_all
+        with Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      in
+      let k0 =
+        try Gpu_ir.Parse.kernel_of_string_checked src with
+        | Gpu_ir.Parse.Parse_error (line, msg) ->
+            Printf.eprintf "%s:%d: %s\n" subject line msg;
+            exit 2
+        | Gpu_ir.Verify.Invalid msg ->
+            Printf.eprintf "%s: verification failed: %s\n" subject msg;
+            exit 2
+      in
+      Harness.Check.check_kernel ~local_items:local ~targets
+        ~name:(Filename.basename subject) k0)
+    else
+      match
+        List.find_opt
+          (fun (b : Kernels.Bench.t) ->
+            String.lowercase_ascii b.id = String.lowercase_ascii subject)
+          Kernels.Registry.all
+      with
+      | Some b -> Harness.Check.check_bench ~scale ~targets b
+      | None ->
+          Printf.eprintf
+            "unknown check subject %s (a benchmark id among: %s — or a path \
+             to an .rgk kernel file)\n"
+            subject
+            (String.concat ", "
+               (List.map (fun (b : Kernels.Bench.t) -> b.id) Kernels.Registry.all));
+          exit 2
+  in
+  print_string (Harness.Check.to_string report);
+  (match json_out with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Gpu_trace.Json.to_string (Harness.Check.to_json report));
+          output_char oc '\n');
+      Printf.printf "check JSON -> %s\n" path
+  | None -> ());
+  if not (Harness.Check.clean report) then exit 1
+
 (* ---------------- inject ---------------- *)
 
 let targets =
@@ -212,9 +291,9 @@ let target_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
-let do_inject (b : Kernels.Bench.t) variant target n jobs show_prov =
+let do_inject (b : Kernels.Bench.t) variant target n jobs show_prov sanitize =
   let ctx = Harness.Experiments.create_ctx ?jobs () in
-  let e = Harness.Experiments.coverage_experiment ctx b variant in
+  let e = Harness.Experiments.coverage_experiment ~sanitize ctx b variant in
   let obs =
     Fault.Campaign.run_observations ~n
       ~map:(Harness.Experiments.campaign_map ctx) ~target ~seed:97 e
@@ -224,6 +303,16 @@ let do_inject (b : Kernels.Bench.t) variant target n jobs show_prov =
   Printf.printf "%s under %s: %s%s\n" b.id (T.name variant)
     (Fault.Campaign.tally_to_string t)
     (if Fault.Campaign.covered t then "  [covered]" else "");
+  if sanitize then begin
+    let dirty =
+      List.length
+        (List.filter
+           (fun o -> o.Fault.Campaign.san_clean = Some false)
+           obs)
+    in
+    Printf.printf "  sanitizer: %d/%d injected runs with shadow findings\n"
+      dirty (List.length obs)
+  end;
   let psum = Fault.Campaign.provenance_summary obs in
   if psum <> "" then print_string psum;
   if show_prov then
@@ -290,16 +379,16 @@ let do_runfile path variant global local arg_specs shows =
     try Gpu_ir.Parse.kernel_of_string_checked src with
     | Gpu_ir.Parse.Parse_error (line, msg) ->
         Printf.eprintf "%s:%d: %s\n" path line msg;
-        exit 1
+        exit 2
     | Gpu_ir.Verify.Invalid msg ->
         Printf.eprintf "%s: verification failed: %s\n" path msg;
-        exit 1
+        exit 2
   in
   let k =
     try T.apply variant ~local_items:local k0
     with Rmt_core.Intra_group.Unsupported msg ->
       Printf.eprintf "cannot apply %s: %s\n" (T.name variant) msg;
-      exit 1
+      exit 2
   in
   let dev = Gpu_sim.Device.create Gpu_sim.Config.default in
   let nd0 = Gpu_sim.Geom.make_ndrange global local in
@@ -388,7 +477,7 @@ let do_exp name quick jobs =
       `Ok ()
   | None ->
       `Error
-        ( false,
+        ( true,
           "unknown experiment (table1-3, fig2-9, coverage, occupancy, \
            explain, opt, tmr, wavesize, naive, schedpolicy, pool, devscale, \
            compare, export, all)" )
@@ -493,11 +582,20 @@ let inject_cmd =
           ~doc:"Print each injection's propagation provenance (flip site, \
                 first consuming instruction, flip-to-detect distance)")
   in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:"Attach the dynamic sanitizer to every injected run and \
+                report how many came back with shadow findings (a corrupted \
+                address can surface as an out-of-bounds access)")
+  in
   Cmd.v
     (Cmd.info "inject"
        ~doc:"Run a fault-injection campaign with propagation provenance")
     Term.(
-      const do_inject $ bench_arg $ variant $ target $ n $ jobs_opt $ show_prov)
+      const do_inject $ bench_arg $ variant $ target $ n $ jobs_opt $ show_prov
+      $ sanitize)
 
 let profile_cmd =
   let scale =
@@ -526,6 +624,47 @@ let profile_cmd =
     Term.(
       const do_profile $ bench_arg $ variant_arg ~pos:1 $ scale $ optimize
       $ json_out $ top)
+
+let check_cmd =
+  let subject =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH|FILE.rgk"
+          ~doc:"Registry benchmark id, or path to an .rgk kernel file")
+  in
+  let target =
+    Arg.(
+      value
+      & pos 1 (some check_target_conv) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Check a single target (baseline, intra+lds, intra-lds, inter, \
+             tmr); default: all five")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem-size multiplier")
+  in
+  let local =
+    Arg.(
+      value & opt int 64
+      & info [ "local" ] ~docv:"N"
+          ~doc:"Work-group size assumed when checking an .rgk file")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify the RMT sphere-of-replication contract statically and run \
+          the benchmark under the dynamic sanitizer (races, uninitialized \
+          reads, out-of-bounds); exit 1 on findings. A path to an .rgk \
+          kernel file gets the static contract check per target")
+    Term.(const do_check $ subject $ target $ scale $ local $ json_out)
 
 let perfdiff_cmd =
   let old_path =
@@ -594,6 +733,15 @@ let () =
     Cmd.info "rmtgpu" ~version:"1.0.0"
       ~doc:"Compiler-managed GPU redundant multithreading (ISCA 2014) reproduction"
   in
-  exit (Cmd.eval (Cmd.group info
-          [ list_cmd; dump_cmd; run_cmd; trace_cmd; profile_cmd; inject_cmd;
-            perfdiff_cmd; exp_cmd; runfile_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ list_cmd; dump_cmd; run_cmd; trace_cmd; profile_cmd; inject_cmd;
+           check_cmd; perfdiff_cmd; exp_cmd; runfile_cmd ])
+  in
+  (* Uniform usage-error code: cmdliner reports unknown subcommands and bad
+     arguments (with usage) as 124/125; fold both onto the conventional 2
+     so scripts see one code for every malformed invocation. *)
+  exit
+    (if code = Cmd.Exit.cli_error || code = Cmd.Exit.internal_error then 2
+     else code)

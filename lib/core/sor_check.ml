@@ -1,0 +1,244 @@
+(** Static RMT-invariant (sphere-of-replication) checker.
+
+    The RMT transforms promise a contract per flavor: every store that
+    {e exits} the sphere of replication is (1) confined to one replica by
+    a producer/consumer branch, (2) preceded by an output comparison — a
+    [Trap] whose condition compares the store's address and value against
+    the twin's copies received over the communication channel — and
+    (3) under Inter-Group, gated by the hand-off flag protocol on the
+    global communication buffer. Global stores always exit the SoR;
+    local stores additionally exit it under Intra-Group −LDS (the LDS is
+    shared between twins there, so it is architectural state).
+
+    This module re-derives that contract from the transformed kernel
+    alone, with a conservative static analysis over {!Gpu_ir.Site}
+    program order:
+
+    - a {e channel-address} taint marks registers holding addresses into
+      the communication medium (the [__rmt_comm]/[__tmr_vote] LDS base,
+      or the Inter-Group counter/comm buffer parameters), propagated
+      through address arithmetic only ([Mov]/[Mad]/integer ALU). Stores
+      whose target address is channel-tainted are the protocol's own
+      publishes and are exempt;
+    - a {e channel-value} taint marks data read back from the channel
+      (loads/atomics at channel addresses, and cross-lane [Swizzle]
+      results for the FAST flavor), propagated through every
+      instruction. A valid output comparison's trap condition must be
+      channel-value tainted — a trap comparing private registers against
+      themselves would not count;
+    - per checked store, the checker requires an enclosing [If], a
+      preceding channel-tainted [Trap] whose backward register closure
+      intersects both the store address's and the store value's
+      closures, and (Inter-Group) a preceding [A_poll] spin on a
+      channel-tainted address.
+
+    The no-comm ablation flavors ([Comm_none], [No_comm]) deliberately
+    violate the contract (they store without comparing) and are the
+    checker's negative fixture. *)
+
+open Gpu_ir.Types
+module Site = Gpu_ir.Site
+
+(** Which contract to enforce. *)
+type flavor =
+  | F_original  (** no contract: nothing to check *)
+  | F_intra_plus  (** Intra-Group +LDS: global stores compared *)
+  | F_intra_minus  (** Intra-Group −LDS: global and local stores compared *)
+  | F_inter  (** Inter-Group: global stores compared via the comm buffer *)
+  | F_tmr  (** TMR: global stores majority-voted (trap on 3-way split) *)
+
+let flavor_name = function
+  | F_original -> "original"
+  | F_intra_plus -> "intra+lds"
+  | F_intra_minus -> "intra-lds"
+  | F_inter -> "inter"
+  | F_tmr -> "tmr"
+
+type violation = {
+  v_site : Site.id;  (** site of the offending store *)
+  v_inst : string;  (** rendered instruction *)
+  v_space : space;
+  v_reason : string;
+}
+
+let describe v =
+  Printf.sprintf "site %d (%s): %s" v.v_site v.v_inst v.v_reason
+
+(* Registers appearing in a value / an instruction's uses. *)
+let reg_of = function Reg r -> Some r | Imm _ | Imm_f32 _ -> None
+
+let use_regs i =
+  List.filter_map reg_of (inst_uses i)
+
+(* Address arithmetic: instructions through which a channel *address*
+   stays a channel address. Anything else (loads, compares, selects)
+   launders the taint — deliberately, so e.g. the TMR majority-voted
+   store address (a [Select] over voted copies) is not mistaken for a
+   protocol-internal publish. *)
+let is_addr_arith = function
+  | Mov _ | Mad _ | Iarith _ -> true
+  | _ -> false
+
+let checked_space flavor sp =
+  match (flavor, sp) with
+  | F_original, _ -> false
+  | _, Global -> true
+  | F_intra_minus, Local -> true
+  | _, Local -> false
+
+(* The LDS allocation naming the channel, per flavor. *)
+let chan_lds_name = function
+  | F_intra_plus | F_intra_minus -> Some Intra_group.comm_lds_name
+  | F_tmr -> Some Tmr.comm_lds_name
+  | F_original | F_inter -> None
+
+(** [check flavor k] verifies the SoR contract of [k] under [flavor] and
+    returns the violations ([] = contract holds). [k] must be the
+    {e transformed} kernel. *)
+let check (flavor : flavor) (k : kernel) : violation list =
+  if flavor = F_original then []
+  else begin
+    let abody, nsites = Site.annotate k.body in
+    let np = param_count k in
+    let insts = Array.make nsites (Barrier : inst) in
+    let in_if = Array.make nsites false in
+    let rec walk ~guarded ss =
+      List.iter
+        (fun s ->
+          match s with
+          | Site.A_inst (id, i) ->
+              insts.(id) <- i;
+              in_if.(id) <- guarded
+          | Site.A_if (_, t, e) ->
+              walk ~guarded:true t;
+              walk ~guarded:true e
+          | Site.A_while (h, _, b) ->
+              walk ~guarded h;
+              walk ~guarded b)
+        ss
+    in
+    walk ~guarded:false abody;
+    (* ---- forward taint pass, in program (= site) order ---- *)
+    let nregs = max k.nregs 1 in
+    let addr_taint = Array.make nregs false in
+    let chan = Array.make nregs false in
+    let lds_chan = chan_lds_name flavor in
+    for s = 0 to nsites - 1 do
+      let i = insts.(s) in
+      (match i with
+      | Special (Lds_base name, d) when Some name = lds_chan ->
+          addr_taint.(d) <- true
+      | Arg (d, idx) when flavor = F_inter && idx >= np - 2 ->
+          addr_taint.(d) <- true
+      | _ -> ());
+      (match inst_def i with
+      | Some d ->
+          if is_addr_arith i && List.exists (fun r -> addr_taint.(r)) (use_regs i)
+          then addr_taint.(d) <- true;
+          let channel_read =
+            match i with
+            | Load (_, _, Reg a) | Atomic (_, _, _, Reg a, _)
+            | Cas (_, _, Reg a, _, _) ->
+                addr_taint.(a)
+            | Swizzle _ -> true
+            | _ -> false
+          in
+          if channel_read || List.exists (fun r -> chan.(r)) (use_regs i) then
+            chan.(d) <- true
+      | None -> ())
+    done;
+    (* ---- backward register closure from a site ---- *)
+    let closure ~from seeds =
+      let set = Array.make nregs false in
+      List.iter (fun r -> set.(r) <- true) seeds;
+      for t = from - 1 downto 0 do
+        match inst_def insts.(t) with
+        | Some d when set.(d) ->
+            List.iter (fun r -> set.(r) <- true) (use_regs insts.(t))
+        | _ -> ()
+      done;
+      set
+    in
+    let intersects a b =
+      let n = Array.length a in
+      let rec go i = i < n && ((a.(i) && b.(i)) || go (i + 1)) in
+      go 0
+    in
+    (* ---- per-store contract ---- *)
+    let traps = ref [] in
+    (* (site, condition) of every Trap, ascending *)
+    for s = nsites - 1 downto 0 do
+      match insts.(s) with Trap c -> traps := (s, c) :: !traps | _ -> ()
+    done;
+    let polls = ref [] in
+    for s = nsites - 1 downto 0 do
+      match insts.(s) with
+      | Atomic (A_poll, Global, _, Reg a, _) when addr_taint.(a) ->
+          polls := s :: !polls
+      | _ -> ()
+    done;
+    let violations = ref [] in
+    let fail s sp reason =
+      violations :=
+        {
+          v_site = s;
+          v_inst = Gpu_ir.Pp.string_of_inst insts.(s);
+          v_space = sp;
+          v_reason = reason;
+        }
+        :: !violations
+    in
+    for s = 0 to nsites - 1 do
+      match insts.(s) with
+      | Store (sp, addr, v) when checked_space flavor sp -> (
+          let addr_is_chan =
+            match addr with Reg r -> addr_taint.(r) | _ -> false
+          in
+          if not addr_is_chan then begin
+            if not in_if.(s) then
+              fail s sp
+                "store exits the SoR outside any producer/consumer branch";
+            let prior = List.filter (fun (t, _) -> t < s) !traps in
+            if prior = [] then
+              fail s sp "no output comparison (Trap) precedes the store"
+            else begin
+              let ca = closure ~from:s (Option.to_list (reg_of addr)) in
+              let cv = closure ~from:s (Option.to_list (reg_of v)) in
+              let witnesses =
+                List.filter
+                  (fun (t, c) ->
+                    match reg_of c with
+                    | Some r ->
+                        chan.(r)
+                        && (reg_of addr = None
+                           || intersects (closure ~from:t [ r ]) ca)
+                        && (reg_of v = None
+                           || intersects (closure ~from:t [ r ]) cv)
+                    | None -> false)
+                  prior
+              in
+              if witnesses = [] then
+                if
+                  List.exists
+                    (fun (_, c) ->
+                      match reg_of c with Some r -> chan.(r) | None -> false)
+                    prior
+                then
+                  fail s sp
+                    "no preceding trap compares this store's address and \
+                     value against channel data"
+                else
+                  fail s sp
+                    "preceding traps do not read the twin's copy over the \
+                     communication channel";
+              if flavor = F_inter && not (List.exists (fun t -> t < s) !polls)
+              then
+                fail s sp
+                  "store is not gated by a hand-off flag poll on the \
+                   communication buffer"
+            end
+          end)
+      | _ -> ()
+    done;
+    List.rev !violations
+  end

@@ -104,6 +104,9 @@ type observation = {
   prov : Gpu_prof.Provenance.t option;
       (** propagation provenance of this run's flip, when the harness
           attached a record *)
+  san_clean : bool option;
+      (** [Some true] when the run executed under the dynamic sanitizer
+          and came back finding-free; [None] when it was not sanitized *)
 }
 
 (** One experiment: how to set up, run and check the workload. The

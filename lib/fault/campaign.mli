@@ -43,6 +43,8 @@ type observation = {
   latency : int option;
   prov : Gpu_prof.Provenance.t option;
       (** propagation provenance of this run's flip, when attached *)
+  san_clean : bool option;
+      (** sanitizer verdict when the run was sanitized; [None] otherwise *)
 }
 
 type experiment = {

@@ -59,10 +59,17 @@ type t = {
   cfg : Config.t;
   data : Bytes.t;
   mutable alloc_ptr : int;
+  mutable san : Gpu_san.Shadow.t option;
+      (** dynamic sanitizer shadow; attach with {!set_san} before the
+          host initializes buffers so allocation ranges and host writes
+          are tracked. [None] (the default) keeps every hook dormant. *)
 }
 
 let create (cfg : Config.t) =
-  { cfg; data = Bytes.make cfg.memory_bytes '\000'; alloc_ptr = 256 }
+  { cfg; data = Bytes.make cfg.memory_bytes '\000'; alloc_ptr = 256; san = None }
+
+(** Attach (or detach) the sanitizer shadow. *)
+let set_san dev s = dev.san <- s
 
 (* ------------------------------------------------------------------ *)
 (* Buffers                                                             *)
@@ -75,10 +82,17 @@ let alloc dev bytes =
   if addr + bytes > Bytes.length dev.data then
     failwith "Device.alloc: out of device memory";
   dev.alloc_ptr <- addr + bytes;
+  (match dev.san with
+  | Some s -> Gpu_san.Shadow.note_alloc s ~addr ~size:bytes
+  | None -> ());
   { addr; size = bytes }
 
 (** Release all buffers (bump-allocator reset). *)
-let free_all dev = dev.alloc_ptr <- 256
+let free_all dev =
+  dev.alloc_ptr <- 256;
+  match dev.san with
+  | Some s -> Gpu_san.Shadow.reset_allocs s
+  | None -> ()
 
 let check_idx buf i =
   if i < 0 || (i * 4) + 4 > buf.size then
@@ -86,6 +100,9 @@ let check_idx buf i =
 
 let write_i32 dev buf i v =
   check_idx buf i;
+  (match dev.san with
+  | Some s -> Gpu_san.Shadow.host_write s (buf.addr + (i * 4))
+  | None -> ());
   Bytes.set_int32_le dev.data (buf.addr + (i * 4)) (Int32.of_int v)
 
 let read_i32 dev buf i =
@@ -324,6 +341,23 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
   let prov : Prov.t =
     match opts.provenance with Some p -> p | None -> Prov.create ()
   in
+  (* Sanitizer: one [san_on] test guards every hook in the issue loop,
+     mirroring [tracing]/[profiling]; the shadow only observes, so a
+     sanitized run is timing- and output-identical. *)
+  let san_on = dev.san <> None in
+  (match dev.san with
+  | Some s -> Gpu_san.Shadow.begin_launch s
+  | None -> ());
+  let san_set_site =
+    match dev.san with
+    | Some s -> fun site -> Gpu_san.Shadow.set_site s site
+    | None -> fun _ -> ()
+  in
+  let san_barrier_release =
+    match dev.san with
+    | Some s -> fun group -> Gpu_san.Shadow.barrier_release s ~group
+    | None -> fun _ -> ()
+  in
   let taint = ref Taint_none in
   (* Site and instruction currently at the head of the issuing wave;
      consulted by the memory closures when they observe a tainted read. *)
@@ -374,9 +408,56 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
   in
 
   (* -------------------- group dispatch -------------------- *)
-  let make_mem_ops cu (g : grp) ~cu_id : Wave.mem_ops =
+  let make_mem_ops cu (g : grp) ~(w : Wave.t) ~cu_id : Wave.mem_ops =
     let g_lds = g.lds_mem in
     let view = g.view in
+    let msan =
+      match dev.san with
+      | None -> None
+      | Some sh ->
+          let lds_bytes = Bytes.length g_lds in
+          Some
+            (fun kind sp addr lane value ->
+              let coord =
+                {
+                  Gpu_san.Shadow.c_group = g.g_index;
+                  c_wave = w.Wave.wid;
+                  c_item = w.Wave.flat_base + lane;
+                }
+              in
+              let store = kind = Wave.MStore in
+              let kind =
+                match kind with
+                | Wave.MLoad -> Gpu_san.Shadow.Read
+                | Wave.MStore -> Gpu_san.Shadow.Write
+                | Wave.MAtomic when value = 0 -> Gpu_san.Shadow.Atomic_read
+                | Wave.MAtomic -> Gpu_san.Shadow.Atomic_rw
+              in
+              match sp with
+              | Global ->
+                  (* a store of the word's current contents is benign:
+                     unobservable, hence race-free (read the old value
+                     only for in-bounds addresses — OOB stores must
+                     reach the shadow's range check, not fault here) *)
+                  let unchanged =
+                    store
+                    && addr land 3 = 0
+                    && Gpu_san.Shadow.in_some_range sh addr
+                    && Memsys.read32 ms addr = value
+                  in
+                  Gpu_san.Shadow.global_access sh ~coord ~kind ~unchanged
+                    ~addr ()
+              | Local ->
+                  let unchanged =
+                    store
+                    && addr >= 0
+                    && addr land 3 = 0
+                    && addr + 4 <= lds_bytes
+                    && Int32.to_int (Bytes.get_int32_le g_lds addr) = value
+                  in
+                  Gpu_san.Shadow.lds_access sh ~coord ~kind ~unchanged ~addr
+                    ~lds_bytes ())
+    in
     let lds_check addr what =
       if addr < 0 || addr + 4 > Bytes.length g_lds then
         raise
@@ -462,6 +543,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
           | Some o -> o
           | None -> raise (Memsys.Fault ("unknown LDS allocation " ^ name)));
       view;
+      msan;
     }
   in
 
@@ -473,7 +555,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
           (fun w ->
             if w.Wave.state <> Wave.Retired then
               slots :=
-                { w; g; mem = make_mem_ops cu g ~cu_id:cu.cu_id; live = true }
+                { w; g; mem = make_mem_ops cu g ~w ~cu_id:cu.cu_id; live = true }
                 :: !slots)
           g.g_waves)
       cu.groups;
@@ -620,6 +702,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
       g.barrier_arrived <- 0;
       Array.iter Wave.release_barrier g.g_waves;
       counters.barriers_executed <- counters.barriers_executed + 1;
+      if san_on then san_barrier_release g.g_index;
       if tracing then
         emit now
           (Gpu_trace.Sink.Barrier_release { cu = cu.cu_id; group = g.g_index });
@@ -715,6 +798,7 @@ let launch ?(opts = default_opts) dev (kernel : kernel) ~(nd : Geom.ndrange)
                   prov_cur := Some (site, i);
                   prov_now := now
                 end;
+                if san_on then san_set_site site;
                 (match classify_unit div i with
                 | U_valu ->
                     if (not !valu_used) && cu.simd_busy_until.(simd) <= now

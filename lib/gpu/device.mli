@@ -21,6 +21,16 @@ type t
 
 val create : Config.t -> t
 
+val set_san : t -> Gpu_san.Shadow.t option -> unit
+(** Attach (or detach) the dynamic sanitizer shadow. Attach it right
+    after {!create} — before buffers are allocated and host-initialized —
+    so the shadow sees every allocation range and host write. While
+    attached, {!alloc}/{!free_all}/{!write_i32} (and everything funnelled
+    through them) maintain the shadow's allocation and initialization
+    maps, and every launch checks each lane's memory accesses against it.
+    The shadow only observes: counters, timing and outputs are identical
+    to an unsanitized run. *)
+
 type buffer = { addr : int; size : int }
 
 val alloc : t -> int -> buffer

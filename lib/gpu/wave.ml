@@ -237,6 +237,8 @@ let release_barrier t = if t.state = At_barrier then t.state <- Running
 (* Functional execution                                                *)
 (* ------------------------------------------------------------------ *)
 
+type mem_kind = MLoad | MStore | MAtomic
+
 (** Memory/argument interface a wave executes against; provided by the
     device per group. *)
 type mem_ops = {
@@ -247,9 +249,14 @@ type mem_ops = {
   arg : int -> int;
   lds_base : string -> int;
   view : Geom.group_view;
+  msan : (mem_kind -> space -> int -> int -> int -> unit) option;
+      (** sanitizer hook, called per lane as [f kind space addr lane v]
+          {e before} the access is performed (so out-of-bounds addresses
+          are recorded even when the access faults); [v] is the value
+          being stored for [MStore], 1 for a writing atomic vs 0 for the
+          read-only [A_poll], and 0 for loads; [None] when the sanitizer
+          is off *)
 }
-
-type mem_kind = MLoad | MStore | MAtomic
 
 type effect_ =
   | E_pure
@@ -437,6 +444,7 @@ let exec t (i : inst) ~(mem : mem_ops) ~line_bytes : effect_ =
       each_lane (fun l ->
           let a = read t addr l in
           addrs := a :: !addrs;
+          (match mem.msan with Some f -> f MLoad sp a l 0 | None -> ());
           set_reg t d l (mem.mload sp a));
       let lanes = List.length !addrs in
       let lines =
@@ -448,7 +456,9 @@ let exec t (i : inst) ~(mem : mem_ops) ~line_bytes : effect_ =
       each_lane (fun l ->
           let a = read t addr l in
           addrs := a :: !addrs;
-          mem.mstore sp a (read t v l));
+          let sv = read t v l in
+          (match mem.msan with Some f -> f MStore sp a l sv | None -> ());
+          mem.mstore sp a sv);
       let lanes = List.length !addrs in
       let lines =
         if sp = Global then collect_lines ~line_bytes !addrs else []
@@ -459,6 +469,9 @@ let exec t (i : inst) ~(mem : mem_ops) ~line_bytes : effect_ =
       each_lane (fun l ->
           let a = read t addr l in
           addrs := a :: !addrs;
+          (match mem.msan with
+          | Some f -> f MAtomic sp a l (if op = A_poll then 0 else 1)
+          | None -> ());
           set_reg t d l (mem.matomic op sp a (read t v l)));
       let lanes = List.length !addrs in
       let lines =
@@ -470,6 +483,7 @@ let exec t (i : inst) ~(mem : mem_ops) ~line_bytes : effect_ =
       each_lane (fun l ->
           let a = read t addr l in
           addrs := a :: !addrs;
+          (match mem.msan with Some f -> f MAtomic sp a l 1 | None -> ());
           set_reg t d l (mem.mcas sp a (read t e l) (read t n l)));
       let lanes = List.length !addrs in
       let lines =

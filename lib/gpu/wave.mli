@@ -63,6 +63,8 @@ val peek : ?fuel:int -> t -> now:int -> on_branch:(unit -> unit) -> peek_result
 val consume : t -> unit
 val release_barrier : t -> unit
 
+type mem_kind = MLoad | MStore | MAtomic
+
 (** Memory/argument interface a wave executes against. *)
 type mem_ops = {
   mload : space -> int -> int;
@@ -72,9 +74,12 @@ type mem_ops = {
   arg : int -> int;
   lds_base : string -> int;
   view : Geom.group_view;
+  msan : (mem_kind -> space -> int -> int -> int -> unit) option;
+      (** sanitizer hook, called per lane as [f kind space addr lane v]
+          before the access is performed; [v] is the stored value for
+          [MStore], 1 for a writing atomic vs 0 for [A_poll], and 0 for
+          loads; [None] when the sanitizer is off *)
 }
-
-type mem_kind = MLoad | MStore | MAtomic
 
 type effect_ =
   | E_pure

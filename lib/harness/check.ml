@@ -1,0 +1,246 @@
+(** [rmtgpu check]: run a benchmark's kernel through the static
+    SoR-invariant checker and the dynamic sanitizer, per RMT variant.
+
+    Each checked target gets two verdicts:
+
+    - {e static}: {!Rmt_core.Sor_check} walks the transformed kernel and
+      verifies the sphere-of-replication contract (every exiting store
+      branch-confined, compared against the twin's copy received over
+      the communication channel, and — Inter-Group — gated by the
+      hand-off flag protocol);
+    - {e dynamic}: the benchmark runs to completion under
+      {!Gpu_san.Shadow}, which flags data races, uninitialized reads and
+      out-of-bounds accesses with both conflicting sites and work-item
+      coordinates.
+
+    TMR is checked statically only: the voting exchange requires a whole
+    tripled work-group to fit in one wavefront (3 × items ≤ 64), and
+    every registry benchmark uses work-groups of 64 or more, so a
+    dynamic TMR run of the real workload is architecturally infeasible —
+    the TMR property tests in [test/test_tmr.ml] and the sanitized
+    synthetic kernels in [test/test_san.ml] cover its dynamic side. *)
+
+module Transform = Rmt_core.Transform
+module Sor_check = Rmt_core.Sor_check
+module Json = Gpu_trace.Json
+
+(** A checkable kernel version: the harness variants, plus TMR (which is
+    not a {!Transform.variant} because its tripled launch geometry does
+    not fit the registry workloads). *)
+type target = T_variant of Transform.variant | T_tmr
+
+(** The gate matrix of the CI check: baseline + the paper's headline RMT
+    flavors + TMR. *)
+let standard_targets : (string * target) list =
+  [
+    ("baseline", T_variant Transform.Original);
+    ("intra+lds", T_variant Transform.intra_plus_lds);
+    ("intra-lds", T_variant Transform.intra_minus_lds);
+    ("inter", T_variant Transform.inter_group);
+    ("tmr", T_tmr);
+  ]
+
+let target_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) standard_targets with
+  | Some t -> Some t
+  | None -> None
+
+let flavor_of_target = function
+  | T_variant Transform.Original -> Sor_check.F_original
+  | T_variant (Transform.Intra { include_lds = true; _ }) ->
+      Sor_check.F_intra_plus
+  | T_variant (Transform.Intra { include_lds = false; _ }) ->
+      Sor_check.F_intra_minus
+  | T_variant (Transform.Inter _) -> Sor_check.F_inter
+  | T_tmr -> Sor_check.F_tmr
+
+type entry = {
+  e_label : string;
+  e_kernel : Gpu_ir.Types.kernel;  (** the kernel the site ids index *)
+  e_static : Sor_check.violation list;
+  e_shadow : Gpu_san.Shadow.t option;  (** [None] = dynamic check skipped *)
+  e_skip_reason : string option;
+  e_run_problem : string option;
+      (** a sanitized run that did not finish verified is itself a
+          finding, independent of shadow state *)
+}
+
+type report = { r_bench : string; r_entries : entry list }
+
+let entry_clean e =
+  e.e_static = []
+  && e.e_run_problem = None
+  && match e.e_shadow with Some s -> Gpu_san.Shadow.clean s | None -> true
+
+let clean r = List.for_all entry_clean r.r_entries
+
+(* TMR's static shape is independent of the logical group size (it only
+   scales immediates), and 16 is the size its benchmarks/examples use. *)
+let tmr_static_local_items = 16
+
+let check_target ?(cfg = Gpu_sim.Config.default) ?(scale = 1)
+    (bench : Kernels.Bench.t) (label, target) : entry =
+  let flavor = flavor_of_target target in
+  match target with
+  | T_tmr ->
+      let kernel =
+        Rmt_core.Tmr.transform ~local_items:tmr_static_local_items
+          (bench.Kernels.Bench.make_kernel ())
+      in
+      {
+        e_label = label;
+        e_kernel = kernel;
+        e_static = Sor_check.check flavor kernel;
+        e_shadow = None;
+        e_skip_reason =
+          Some
+            "dynamic check skipped: TMR requires 3*work-group <= 64 lanes \
+             and every registry workload uses >= 64-item groups";
+        e_run_problem = None;
+      }
+  | T_variant variant ->
+      let summary, kernel, shadow =
+        Run.run_sanitized ~cfg ~scale bench variant
+      in
+      let problem =
+        match summary.Run.outcome with
+        | Gpu_sim.Device.Finished when summary.Run.verified -> None
+        | Gpu_sim.Device.Finished ->
+            Some "run finished but output verification failed"
+        | o -> Some ("run did not finish: " ^ Run.outcome_name o)
+      in
+      {
+        e_label = label;
+        e_kernel = kernel;
+        e_static = Sor_check.check flavor kernel;
+        e_shadow = Some shadow;
+        e_skip_reason = None;
+        e_run_problem = problem;
+      }
+
+(** Check [bench] against [targets] (default: the standard five). *)
+let check_bench ?cfg ?scale ?(targets = standard_targets)
+    (bench : Kernels.Bench.t) : report =
+  {
+    r_bench = bench.Kernels.Bench.id;
+    r_entries = List.map (check_target ?cfg ?scale bench) targets;
+  }
+
+(** Statically check a freestanding kernel (e.g. a parsed [.rgk] file):
+    apply each target's transform and verify its SoR contract. The
+    dynamic sanitizer needs a benchmark harness (arguments, reference
+    output), so it is skipped with a note; a transform that rejects the
+    kernel (e.g. global atomics under Intra-Group) is likewise a noted
+    skip, not a finding. *)
+let check_kernel ?(local_items = 64) ?(targets = standard_targets) ~name
+    (k0 : Gpu_ir.Types.kernel) : report =
+  let dynamic_note =
+    "dynamic check skipped: freestanding kernel has no argument/reference \
+     harness; static contract only"
+  in
+  let entry (label, target) =
+    let flavor = flavor_of_target target in
+    match
+      match target with
+      | T_tmr -> Rmt_core.Tmr.transform ~local_items:tmr_static_local_items k0
+      | T_variant v -> Transform.apply v ~local_items k0
+    with
+    | k ->
+        {
+          e_label = label;
+          e_kernel = k;
+          e_static = Sor_check.check flavor k;
+          e_shadow = None;
+          e_skip_reason = Some dynamic_note;
+          e_run_problem = None;
+        }
+    | exception
+        ( Rmt_core.Intra_group.Unsupported msg
+        | Rmt_core.Tmr.Unsupported msg ) ->
+        {
+          e_label = label;
+          e_kernel = k0;
+          e_static = [];
+          e_shadow = None;
+          e_skip_reason = Some ("transform not applicable: " ^ msg);
+          e_run_problem = None;
+        }
+  in
+  { r_bench = name; r_entries = List.map entry targets }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let entry_to_string e =
+  let buf = Buffer.create 256 in
+  let verdict = if entry_clean e then "ok" else "FAIL" in
+  Buffer.add_string buf (Printf.sprintf "  %-10s %s\n" e.e_label verdict);
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "    static: %s\n" (Sor_check.describe v)))
+    e.e_static;
+  (match e.e_run_problem with
+  | Some p -> Buffer.add_string buf (Printf.sprintf "    dynamic: %s\n" p)
+  | None -> ());
+  (match e.e_shadow with
+  | Some s when not (Gpu_san.Shadow.clean s) ->
+      String.split_on_char '\n'
+        (Gpu_san.Report.to_string ~kernel:e.e_kernel s)
+      |> List.iter (fun line ->
+             if line <> "" then
+               Buffer.add_string buf (Printf.sprintf "    %s\n" line))
+  | _ -> ());
+  (match e.e_skip_reason with
+  | Some r -> Buffer.add_string buf (Printf.sprintf "    note: %s\n" r)
+  | None -> ());
+  Buffer.contents buf
+
+let to_string r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %s\n" r.r_bench
+       (if clean r then "clean" else "FINDINGS"));
+  List.iter (fun e -> Buffer.add_string buf (entry_to_string e)) r.r_entries;
+  Buffer.contents buf
+
+let entry_to_json e : Json.t =
+  Obj
+    [
+      ("target", Str e.e_label);
+      ("clean", Bool (entry_clean e));
+      ( "static_violations",
+        List
+          (List.map
+             (fun (v : Sor_check.violation) ->
+               Json.Obj
+                 [
+                   ("site", Json.Int v.Sor_check.v_site);
+                   ("inst", Json.Str v.Sor_check.v_inst);
+                   ( "space",
+                     Json.Str
+                       (match v.Sor_check.v_space with
+                       | Gpu_ir.Types.Global -> "global"
+                       | Gpu_ir.Types.Local -> "local") );
+                   ("reason", Json.Str v.Sor_check.v_reason);
+                 ])
+             e.e_static) );
+      ( "dynamic",
+        match e.e_shadow with
+        | Some s -> Gpu_san.Report.to_json ~kernel:e.e_kernel s
+        | None -> Json.Null );
+      ( "skipped",
+        match e.e_skip_reason with Some r -> Json.Str r | None -> Json.Null );
+      ( "run_problem",
+        match e.e_run_problem with Some p -> Json.Str p | None -> Json.Null
+      );
+    ]
+
+let to_json r : Json.t =
+  Obj
+    [
+      ("bench", Str r.r_bench);
+      ("clean", Bool (clean r));
+      ("targets", List (List.map entry_to_json r.r_entries));
+    ]

@@ -491,7 +491,8 @@ let fig9 ctx =
 
 let coverage_benches = [ "R"; "BlkSch" ]
 
-let coverage_experiment ctx (b : Kernels.Bench.t) variant : Fault.Campaign.experiment =
+let coverage_experiment ?(sanitize = false) ctx (b : Kernels.Bench.t) variant
+    : Fault.Campaign.experiment =
   let golden = get ctx b variant in
   (* a corrupted spin flag or loop bound can hang an injected run; bound
      it to a small multiple of the fault-free runtime instead of the
@@ -508,8 +509,12 @@ let coverage_experiment ctx (b : Kernels.Bench.t) variant : Fault.Campaign.exper
           | Some _ -> Some (Gpu_prof.Provenance.create ())
           | None -> None
         in
+        (* per-run shadow, never shared: campaign runs may execute on
+           parallel pool domains *)
+        let san = if sanitize then Some (Gpu_san.Shadow.create ()) else None in
         let s =
-          Run.run ~cfg:ctx.cfg ~max_cycles ?inject ?provenance:prov b variant
+          Run.run ~cfg:ctx.cfg ~max_cycles ?inject ?provenance:prov ?san b
+            variant
         in
         {
           Fault.Campaign.oc = s.Run.outcome;
@@ -517,6 +522,7 @@ let coverage_experiment ctx (b : Kernels.Bench.t) variant : Fault.Campaign.exper
           applied = s.Run.inject_applied;
           latency = s.Run.detection_latency;
           prov;
+          san_clean = Option.map Gpu_san.Shadow.clean san;
         });
     golden_cycles = golden.Run.cycles;
   }

@@ -101,8 +101,11 @@ val coverage : ctx -> string
 (** Fault-injection campaigns validating Tables 2/3 empirically. *)
 
 val coverage_experiment :
-  ctx -> Kernels.Bench.t -> Rmt_core.Transform.variant ->
+  ?sanitize:bool -> ctx -> Kernels.Bench.t -> Rmt_core.Transform.variant ->
   Fault.Campaign.experiment
+(** [sanitize] attaches a fresh {!Gpu_san.Shadow} to every injected run
+    (never shared — runs may execute on parallel pool domains) and
+    reports its verdict in the observation's [san_clean]. *)
 
 (** {1 Extension studies (beyond the paper)} *)
 

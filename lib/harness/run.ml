@@ -56,12 +56,16 @@ let transformed_kernel ?(optimize = false) (bench : Kernels.Bench.t) variant
     transformed kernel; every pass charges into the same collector
     (passes all run the same kernel, hence the same site numbering)
     @param provenance a fault-propagation record, filled by the pass in
-    which [inject] lands *)
+    which [inject] lands
+    @param san a sanitizer shadow, attached before host preparation so it
+    observes every allocation and host write; all passes check into the
+    same shadow (the sanitizer never perturbs timing or outputs) *)
 let run ?(cfg = Gpu_sim.Config.default) ?(scale = 1) ?(optimize = false)
     ?window_cycles ?max_cycles ?usage_override ?inject ?trace ?profile
-    ?provenance (bench : Kernels.Bench.t) (variant : Transform.variant) :
+    ?provenance ?san (bench : Kernels.Bench.t) (variant : Transform.variant) :
     summary =
   let dev = Device.create cfg in
+  Device.set_san dev san;
   let prep = bench.prepare dev ~scale in
   let nd0 =
     match prep.steps with
@@ -175,6 +179,28 @@ let run_profiled ?(cfg = Gpu_sim.Config.default) ?(scale = 1)
       bench variant
   in
   (s, kernel, collector)
+
+(** Run [bench] under [variant] with a fresh sanitizer shadow. Returns
+    the summary, the transformed kernel (for resolving finding site ids
+    to instructions) and the shadow holding any findings. *)
+let run_sanitized ?(cfg = Gpu_sim.Config.default) ?(scale = 1)
+    ?(optimize = false) ?window_cycles ?max_cycles (bench : Kernels.Bench.t)
+    (variant : Transform.variant) :
+    summary * Gpu_ir.Types.kernel * Gpu_san.Shadow.t =
+  let dev = Device.create cfg in
+  let prep = bench.prepare dev ~scale in
+  let nd0 =
+    match prep.steps with
+    | s :: _ -> s.Kernels.Bench.nd
+    | [] -> invalid_arg "benchmark produced no launch steps"
+  in
+  let kernel = transformed_kernel ~optimize bench variant ~nd:nd0 in
+  let shadow = Gpu_san.Shadow.create () in
+  let s =
+    run ~cfg ~scale ~optimize ?window_cycles ?max_cycles ~san:shadow bench
+      variant
+  in
+  (s, kernel, shadow)
 
 (** Slowdown of [v] relative to [base] (runtimes in cycles). A
     zero-cycle baseline means the base run never executed — report the

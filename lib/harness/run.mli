@@ -41,6 +41,7 @@ val run :
   ?trace:Gpu_trace.Sink.t ->
   ?profile:Gpu_prof.Collector.t ->
   ?provenance:Gpu_prof.Provenance.t ->
+  ?san:Gpu_san.Shadow.t ->
   Kernels.Bench.t ->
   Rmt_core.Transform.variant ->
   summary
@@ -48,7 +49,9 @@ val run :
     one stream by offsetting each pass by the cycles already simulated.
     [profile] must be sized for this benchmark's transformed kernel
     (every pass charges the same collector). [provenance] is filled by
-    the pass in which [inject] lands. *)
+    the pass in which [inject] lands. [san] is attached to the device
+    before host preparation, so the shadow observes every allocation and
+    host write; it never perturbs timing, counters or outputs. *)
 
 val run_profiled :
   ?cfg:Gpu_sim.Config.t ->
@@ -61,6 +64,18 @@ val run_profiled :
   summary * Gpu_ir.Types.kernel * Gpu_prof.Collector.t
 (** Run with a freshly sized per-site collector; returns the summary,
     the transformed kernel the site ids index, and the collector. *)
+
+val run_sanitized :
+  ?cfg:Gpu_sim.Config.t ->
+  ?scale:int ->
+  ?optimize:bool ->
+  ?window_cycles:int ->
+  ?max_cycles:int ->
+  Kernels.Bench.t ->
+  Rmt_core.Transform.variant ->
+  summary * Gpu_ir.Types.kernel * Gpu_san.Shadow.t
+(** Run with a fresh sanitizer shadow; returns the summary, the
+    transformed kernel (to resolve finding sites) and the shadow. *)
 
 val run_naive_duplication :
   ?cfg:Gpu_sim.Config.t -> ?scale:int -> Kernels.Bench.t -> summary

@@ -1,0 +1,95 @@
+(** Render sanitizer findings as a human-readable listing and as JSON.
+
+    Both renderers can resolve site ids to instruction text when given
+    the kernel the shadow observed ({!Gpu_ir.Site} ids are dense program
+    order, so [Site.insts] maps id → instruction directly). *)
+
+open Shadow
+
+let inst_text insts site =
+  if site < 0 then "<host>"
+  else
+    match insts with
+    | Some a when site < Array.length a ->
+        Gpu_ir.Pp.string_of_inst a.(site)
+    | _ -> "?"
+
+let coord_text (c : coord) =
+  Printf.sprintf "group %d wave %d item %d" c.c_group c.c_wave c.c_item
+
+let access_text insts (a : access) =
+  Printf.sprintf "site %d (%s) by %s [epoch %d]" a.a_site
+    (inst_text insts a.a_site)
+    (coord_text a.a_coord) a.a_epoch
+
+let space_name = function
+  | Gpu_ir.Types.Global -> "global"
+  | Gpu_ir.Types.Local -> "LDS"
+
+(** Human-readable multi-line report. [kernel], when given, lets the
+    report print the instruction behind each site id. *)
+let to_string ?kernel t =
+  let insts = Option.map Gpu_ir.Site.insts kernel in
+  let fs = findings t in
+  let buf = Buffer.create 256 in
+  if fs = [] then Buffer.add_string buf "sanitizer: clean (0 findings)\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "sanitizer: %d finding(s)\n" (List.length fs));
+    List.iteri
+      (fun i f ->
+        Buffer.add_string buf
+          (Printf.sprintf "#%d %s on %s word 0x%x (%d occurrence%s)\n"
+             (i + 1) (cls_name f.f_class) (space_name f.f_space) f.f_addr
+             f.f_count
+             (if f.f_count = 1 then "" else "s"));
+        (match f.f_first with
+        | Some a ->
+            Buffer.add_string buf
+              (Printf.sprintf "   first:  %s\n" (access_text insts a))
+        | None -> ());
+        Buffer.add_string buf
+          (Printf.sprintf "   %s %s\n"
+             (if f.f_first = None then "access:" else "second:")
+             (access_text insts f.f_second)))
+      fs
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_access insts (a : access) : Gpu_trace.Json.t =
+  Obj
+    [
+      ("site", Int a.a_site);
+      ("inst", Str (inst_text insts a.a_site));
+      ("group", Int a.a_coord.c_group);
+      ("wave", Int a.a_coord.c_wave);
+      ("item", Int a.a_coord.c_item);
+      ("epoch", Int a.a_epoch);
+    ]
+
+let json_of_finding insts (f : finding) : Gpu_trace.Json.t =
+  Obj
+    [
+      ("class", Str (cls_id f.f_class));
+      ("space", Str (space_name f.f_space));
+      ("addr", Int f.f_addr);
+      ( "first",
+        match f.f_first with
+        | Some a -> json_of_access insts a
+        | None -> Gpu_trace.Json.Null );
+      ("second", json_of_access insts f.f_second);
+      ("count", Int f.f_count);
+    ]
+
+let to_json ?kernel t : Gpu_trace.Json.t =
+  let insts = Option.map Gpu_ir.Site.insts kernel in
+  let fs = findings t in
+  Obj
+    [
+      ("clean", Bool (fs = []));
+      ("findings", List (List.map (json_of_finding insts) fs));
+    ]

@@ -30,10 +30,46 @@ let choose r l = List.nth l (pick r (List.length l))
 let n_items = 128
 let wg = 64
 
+(* ------------------------------------------------------------------ *)
+(* Seeded defects (sanitizer negative corpus)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A defect planted into an otherwise race-free generated kernel. The
+    LDS defects force a 128-item work-group (two wavefronts): the
+    sanitizer orders same-wave accesses by lockstep, so an intra-group
+    race needs two waves to be a race at all. *)
+type defect =
+  | D_lds_ww  (** two waves store different values to one LDS slot *)
+  | D_lds_rw_nobarrier  (** neighbour LDS read with the barrier omitted *)
+  | D_oob_store  (** store to [output[n_items + gid]], past the buffer *)
+  | D_uninit_load  (** load of an input word the host never wrote *)
+
+let all_defects = [ D_lds_ww; D_lds_rw_nobarrier; D_oob_store; D_uninit_load ]
+
+let defect_name = function
+  | D_lds_ww -> "lds-ww"
+  | D_lds_rw_nobarrier -> "lds-rw-nobarrier"
+  | D_oob_store -> "oob-store"
+  | D_uninit_load -> "uninit-load"
+
+(** The finding class and memory space the sanitizer must report for a
+    planted defect. *)
+let expected_finding = function
+  | D_lds_ww -> (Gpu_san.Shadow.Race_ww, Types.Local)
+  | D_lds_rw_nobarrier -> (Gpu_san.Shadow.Race_rw, Types.Local)
+  | D_oob_store -> (Gpu_san.Shadow.Oob, Types.Global)
+  | D_uninit_load -> (Gpu_san.Shadow.Uninit_read, Types.Global)
+
+let defect_wg = function
+  | Some (D_lds_ww | D_lds_rw_nobarrier) -> 128
+  | _ -> wg
+
 (* Build a random kernel: (kernel, n_items). Parameters: input buffer,
-   output buffer, one scalar. *)
-let generate seed : Types.kernel =
+   output buffer, one scalar. [defect] additionally plants exactly one
+   seeded bug after the race-free body. *)
+let generate ?defect seed : Types.kernel =
   let r = rng seed in
+  let wg = defect_wg defect in
   let b = Builder.create (Printf.sprintf "fuzz_%d" seed) in
   let input = Builder.buffer_param b "input" in
   let output = Builder.buffer_param b "output" in
@@ -145,22 +181,68 @@ let generate seed : Types.kernel =
     Builder.when_ b
       (Builder.eq b (Builder.and_ b gid (Builder.imm 3)) (Builder.imm 0))
       (fun () -> Builder.gstore_elem b output gid (Builder.add b result gid));
+  (* ---- seeded defect, after the race-free body ---- *)
+  (match defect with
+  | None -> ()
+  | Some D_lds_ww ->
+      (* both waves write slot (lid mod 64) with distinct nonzero values
+         and no barrier in between: a WW race the value-suppression
+         exemption cannot absorb *)
+      let base = Builder.lds_alloc b "defect" (64 * 4) in
+      let slot =
+        Builder.add b base
+          (Builder.shl b (Builder.and_ b lid (Builder.imm 63)) (Builder.imm 2))
+      in
+      Builder.lstore b slot (Builder.add b lid (Builder.imm 1))
+  | Some D_lds_rw_nobarrier ->
+      (* initialize every slot, barrier, overwrite the own slot, then
+         read the neighbour's slot with the second barrier omitted: the
+         cross-wave neighbour pairs (63 -> 64, 127 -> 0) race *)
+      let base = Builder.lds_alloc b "defect" (wg * 4) in
+      let slot i = Builder.add b base (Builder.shl b i (Builder.imm 2)) in
+      Builder.lstore b (slot lid) (Builder.add b lid (Builder.imm 1));
+      Builder.barrier b;
+      Builder.lstore b (slot lid) (Builder.add b lid (Builder.imm 101));
+      let nb =
+        Builder.iarith b Types.Rem_u
+          (Builder.add b lid (Builder.imm 1))
+          (Builder.imm wg)
+      in
+      ignore (Builder.lload b (slot nb))
+  | Some D_oob_store ->
+      (* lands past the output allocation but inside device memory, so
+         the unsanitized run still finishes *)
+      Builder.when_ b
+        (Builder.lt_s b gid (Builder.imm 4))
+        (fun () ->
+          Builder.gstore_elem b output
+            (Builder.add b gid (Builder.imm n_items))
+            (Builder.add b result (Builder.imm 1)))
+  | Some D_uninit_load ->
+      (* [run ~defect] leaves this input word unwritten on the host *)
+      ignore (Builder.gload_elem b input (Builder.imm (n_items - 1))));
   Builder.finish b
 
 (* Run a generated kernel (optionally transformed/optimized) and return
-   the output buffer contents. *)
-let run ?(transform = Rmt_core.Transform.Original) ?(optimize = false) seed :
-    int array =
-  let k0 = generate seed in
+   the output buffer contents. [san] is attached to the device before
+   any allocation, so the shadow sees the host writes too; [defect]
+   must match what [generate] planted (the uninitialized-read defect
+   needs the host to skip a word). *)
+let run ?(transform = Rmt_core.Transform.Original) ?(optimize = false) ?defect
+    ?san seed : int array =
+  let wg = defect_wg defect in
+  let k0 = generate ?defect seed in
   let k = Rmt_core.Transform.apply transform ~local_items:wg k0 in
   let k = if optimize then Opt.optimize k else k in
   Verify.check k;
   let dev = Gpu_sim.Device.create Gpu_sim.Config.small in
+  Gpu_sim.Device.set_san dev san;
   let input = Gpu_sim.Device.alloc dev (n_items * 4) in
   let output = Gpu_sim.Device.alloc dev (n_items * 4) in
   let r = rng (seed + 77) in
   for i = 0 to n_items - 1 do
-    Gpu_sim.Device.write_i32 dev input i (next r - 0x20000000);
+    if not (defect = Some D_uninit_load && i = n_items - 1) then
+      Gpu_sim.Device.write_i32 dev input i (next r - 0x20000000);
     Gpu_sim.Device.write_i32 dev output i 0
   done;
   let nd0 = Gpu_sim.Geom.make_ndrange n_items wg in

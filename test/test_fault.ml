@@ -20,7 +20,14 @@ let test_tally_bookkeeping () =
 
 let test_classification () =
   let obs oc output_ok =
-    { C.oc; output_ok; applied = true; latency = None; prov = None }
+    {
+      C.oc;
+      output_ok;
+      applied = true;
+      latency = None;
+      prov = None;
+      san_clean = None;
+    }
   in
   check Alcotest.bool "detected" true
     (C.classify (obs Sim.Device.Detected false) = C.O_detected);

@@ -15,4 +15,5 @@ let () =
       ("tmr", Test_tmr.suite);
       ("trace", Test_trace.suite);
       ("prof", Test_prof.suite);
+      ("san", Test_san.suite);
     ]

@@ -175,10 +175,23 @@ let test_optimize_idempotent () =
 (* Differential fuzzing                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Every fuzzed run also executes under the dynamic sanitizer: a pass or
+   a transform that introduces a race, an uninitialized read or an
+   out-of-bounds access fails the property even when the output happens
+   to match. *)
+let run_clean ?transform ?optimize what seed =
+  let san = Gpu_san.Shadow.create () in
+  let out = Gen_kernel.run ?transform ?optimize ~san seed in
+  if not (Gpu_san.Shadow.clean san) then
+    Alcotest.fail
+      (Printf.sprintf "%s (seed %d) not sanitizer-clean:\n%s" what seed
+         (Gpu_san.Report.to_string san));
+  out
+
 let test_fuzz_optimizer () =
   for seed = 1 to 40 do
-    let base = Gen_kernel.run seed in
-    let opt = Gen_kernel.run ~optimize:true seed in
+    let base = run_clean "base" seed in
+    let opt = run_clean ~optimize:true "optimized" seed in
     if base <> opt then
       Alcotest.fail (Printf.sprintf "optimizer changed semantics (seed %d)" seed)
   done
@@ -188,7 +201,7 @@ let test_fuzz_rmt_variants () =
     (fun variant ->
       for seed = 1 to 15 do
         let base = Gen_kernel.run seed in
-        let rmt = Gen_kernel.run ~transform:variant seed in
+        let rmt = run_clean ~transform:variant (T.name variant) seed in
         if base <> rmt then
           Alcotest.fail
             (Printf.sprintf "%s changed semantics (seed %d)" (T.name variant)
@@ -199,7 +212,9 @@ let test_fuzz_rmt_variants () =
 let test_fuzz_rmt_plus_optimizer () =
   for seed = 1 to 15 do
     let base = Gen_kernel.run seed in
-    let both = Gen_kernel.run ~transform:T.intra_plus_lds ~optimize:true seed in
+    let both =
+      run_clean ~transform:T.intra_plus_lds ~optimize:true "RMT+optimizer" seed
+    in
     if base <> both then
       Alcotest.fail
         (Printf.sprintf "RMT+optimizer changed semantics (seed %d)" seed)

@@ -150,6 +150,7 @@ let test_campaign_map_equivalence () =
             applied = plan.Gpu_sim.Device.at_cycle mod 5 <> 0;
             latency = None;
             prov = None;
+            san_clean = None;
           });
       golden_cycles = 10_000;
     }

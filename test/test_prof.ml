@@ -265,6 +265,7 @@ let test_provenance_end_to_end () =
           applied = s.Harness.Run.inject_applied;
           latency = s.Harness.Run.detection_latency;
           prov = Some p;
+          san_clean = None;
         })
       obs
   in

@@ -41,17 +41,29 @@ let synthetic () =
 let expected_synthetic n =
   Array.init n (fun i -> if i land 1 = 0 then i + (63 - (i mod 64)) else 0)
 
+(* Every end-to-end run here also executes under the dynamic sanitizer:
+   a transform that smuggles in a race or an uninitialized read fails
+   the correctness tests even when the output happens to match. *)
+let assert_clean what san =
+  if not (Gpu_san.Shadow.clean san) then
+    Alcotest.fail
+      (Printf.sprintf "%s not sanitizer-clean:\n%s" what
+         (Gpu_san.Report.to_string san))
+
 let run_synthetic variant =
   let k0 = synthetic () in
   let k = T.apply variant ~local_items:64 k0 in
   Verify.check k;
   let dev = Sim.Device.create Sim.Config.small in
+  let san = Gpu_san.Shadow.create () in
+  Sim.Device.set_san dev (Some san);
   let n = 256 in
   let buf = Sim.Device.alloc dev (n * 4) in
   let nd0 = Sim.Geom.make_ndrange n 64 in
   let nd = T.map_ndrange variant nd0 in
   let args = [ Sim.Device.A_buf buf ] @ T.extra_args variant dev ~nd:nd0 in
   let r = Sim.Device.launch dev k ~nd ~args in
+  assert_clean (T.name variant) san;
   (r, Sim.Device.read_i32_array dev buf n)
 
 (* ------------------------------------------------------------------ *)
@@ -328,6 +340,8 @@ let run_pooled pool_size =
   in
   Verify.check k;
   let dev = Sim.Device.create Sim.Config.small in
+  let san = Gpu_san.Shadow.create () in
+  Sim.Device.set_san dev (Some san);
   let n = 256 in
   let buf = Sim.Device.alloc dev (n * 4) in
   let nd0 = Sim.Geom.make_ndrange n 64 in
@@ -349,6 +363,7 @@ let run_pooled pool_size =
     Sim.Device.launch ~opts dev k ~nd
       ~args:[ Sim.Device.A_buf buf; A_buf counter; A_buf comm ]
   in
+  assert_clean (Printf.sprintf "pooled pool=%d" pool_size) san;
   (r, Sim.Device.read_i32_array dev buf n)
 
 let test_pooled_correct () =

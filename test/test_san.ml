@@ -1,0 +1,380 @@
+(* Tests for the dynamic kernel sanitizer (gpu_san) and the static
+   RMT-invariant checker (Rmt_core.Sor_check):
+
+   - negative: every defect the seeded generator plants is flagged, with
+     the right class, memory space and site shape;
+   - positive: the race-free generator corpus, every RMT flavor over it,
+     the pooled Inter-Group rendezvous and a wave-resident TMR kernel
+     all come back finding-free;
+   - zero perturbation: a sanitized run is cycle-, counter- and
+     output-identical to a plain one (mirroring the profiler's test);
+   - static: the SoR checker accepts every properly transformed kernel
+     and rejects the comparison-elided ablations. *)
+
+open Gpu_ir
+module Sim = Gpu_sim
+module Shadow = Gpu_san.Shadow
+module Report = Gpu_san.Report
+module Sor = Rmt_core.Sor_check
+module T = Rmt_core.Transform
+module Json = Gpu_trace.Json
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let cls_label f = Shadow.cls_id f.Shadow.f_class
+
+let fail_report what san =
+  Alcotest.fail
+    (Printf.sprintf "%s:\n%s" what (Report.to_string san))
+
+(* ------------------------------------------------------------------ *)
+(* Seeded defects (negative direction)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_seeded_defects_flagged () =
+  List.iter
+    (fun defect ->
+      let cls, space = Gen_kernel.expected_finding defect in
+      List.iter
+        (fun seed ->
+          let san = Shadow.create () in
+          let (_ : int array) = Gen_kernel.run ~defect ~san seed in
+          let hits =
+            List.filter
+              (fun f -> f.Shadow.f_class = cls && f.Shadow.f_space = space)
+              (Shadow.findings san)
+          in
+          if hits = [] then
+            Alcotest.fail
+              (Printf.sprintf
+                 "defect %s (seed %d) not flagged as %s; report:\n%s"
+                 (Gen_kernel.defect_name defect)
+                 seed (Shadow.cls_id cls) (Report.to_string san));
+          (* races must carry both conflicting sites *)
+          List.iter
+            (fun f ->
+              match f.Shadow.f_class with
+              | Shadow.Race_ww | Shadow.Race_rw ->
+                  check Alcotest.bool
+                    (Printf.sprintf "%s carries both sites" (cls_label f))
+                    true
+                    (f.Shadow.f_first <> None)
+              | _ -> ())
+            hits)
+        [ 1; 2; 3 ])
+    Gen_kernel.all_defects
+
+(* The missing-barrier defect races a store site against a *different*
+   load site: the reported pair must name both instructions. *)
+let test_rw_race_site_pair () =
+  let san = Shadow.create () in
+  let (_ : int array) =
+    Gen_kernel.run ~defect:Gen_kernel.D_lds_rw_nobarrier ~san 1
+  in
+  let ok =
+    List.exists
+      (fun f ->
+        f.Shadow.f_class = Shadow.Race_rw
+        && f.Shadow.f_space = Types.Local
+        &&
+        match f.Shadow.f_first with
+        | Some first -> first.Shadow.a_site <> f.Shadow.f_second.Shadow.a_site
+        | None -> false)
+      (Shadow.findings san)
+  in
+  if not ok then fail_report "no RW race with two distinct sites" san
+
+(* ------------------------------------------------------------------ *)
+(* Race-free corpus (positive direction)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_corpus_clean () =
+  for seed = 1 to 12 do
+    let san = Shadow.create () in
+    let (_ : int array) = Gen_kernel.run ~san seed in
+    if not (Shadow.clean san) then
+      fail_report (Printf.sprintf "seed %d not clean" seed) san
+  done
+
+let test_rmt_variants_clean () =
+  List.iter
+    (fun variant ->
+      for seed = 1 to 5 do
+        let san = Shadow.create () in
+        let (_ : int array) =
+          Gen_kernel.run ~transform:variant ~san seed
+        in
+        if not (Shadow.clean san) then
+          fail_report
+            (Printf.sprintf "%s seed %d not clean" (T.name variant) seed)
+            san
+      done)
+    [ T.intra_plus_lds; T.intra_minus_lds; T.intra_plus_lds_fast; T.inter_group ]
+
+(* The pooled rendezvous interleaves plain buffer deposits from many
+   producers; the CAS claim / A_xchg publish chain must order them. *)
+let test_pooled_inter_clean () =
+  let b = Builder.create "pooled_san" in
+  let out = Builder.buffer_param b "out" in
+  let gid = Builder.global_id b 0 in
+  Builder.gstore_elem b out gid (Builder.mul b gid (Builder.imm 3));
+  let k0 = Builder.finish b in
+  let scheme = Rmt_core.Inter_group.Pooled 16 in
+  let k = Rmt_core.Inter_group.transform { Rmt_core.Inter_group.scheme } k0 in
+  Verify.check k;
+  let n = 256 in
+  let dev = Sim.Device.create Sim.Config.small in
+  let san = Shadow.create () in
+  Sim.Device.set_san dev (Some san);
+  let buf = Sim.Device.alloc dev (n * 4) in
+  let nd0 = Sim.Geom.make_ndrange n 64 in
+  let counter = Sim.Device.alloc dev 4 in
+  let comm_bytes = Rmt_core.Inter_group.comm_buffer_bytes ~scheme nd0 in
+  let comm = Sim.Device.alloc dev comm_bytes in
+  Sim.Device.fill_i32 dev comm (comm_bytes / 4) 0;
+  Sim.Device.fill_i32 dev counter 1 0;
+  let opts =
+    { Sim.Device.default_opts with Sim.Device.max_cycles = Some 10_000_000 }
+  in
+  let r =
+    Sim.Device.launch ~opts dev k
+      ~nd:(Rmt_core.Inter_group.map_ndrange nd0)
+      ~args:[ Sim.Device.A_buf buf; A_buf counter; A_buf comm ]
+  in
+  check Alcotest.bool "finished" true
+    (r.Sim.Device.outcome = Sim.Device.Finished);
+  check Alcotest.bool "output correct" true
+    (Sim.Device.read_i32_array dev buf n = Array.init n (fun i -> i * 3));
+  if not (Shadow.clean san) then fail_report "pooled inter not clean" san
+
+(* TMR is dynamically checkable when the tripled group fits one wave. *)
+let test_tmr_dynamic_clean () =
+  let wg = 16 in
+  let b = Builder.create "tmr_san" in
+  let input = Builder.buffer_param b "in" in
+  let output = Builder.buffer_param b "out" in
+  let lds = Builder.lds_alloc b "x" (wg * 4) in
+  let gid = Builder.global_id b 0 in
+  let lid = Builder.local_id b 0 in
+  let slot = Builder.add b lds (Builder.shl b lid (Builder.imm 2)) in
+  Builder.lstore b slot (Builder.mul b lid (Builder.imm 7));
+  let v = Builder.gload_elem b input gid in
+  let w =
+    Builder.add b (Builder.mul b v (Builder.imm 3)) (Builder.lload b slot)
+  in
+  Builder.gstore_elem b output gid w;
+  let k0 = Builder.finish b in
+  let k = Rmt_core.Tmr.transform ~local_items:wg k0 in
+  Verify.check k;
+  let n = 256 in
+  let dev = Sim.Device.create Sim.Config.small in
+  let san = Shadow.create () in
+  Sim.Device.set_san dev (Some san);
+  let inp = Sim.Device.alloc dev (n * 4) in
+  let out = Sim.Device.alloc dev (n * 4) in
+  let data = Array.init n (fun i -> (i * 13) land 0xFFFF) in
+  Sim.Device.write_i32_array dev inp data;
+  let r =
+    Sim.Device.launch dev k
+      ~nd:(Rmt_core.Tmr.map_ndrange (Sim.Geom.make_ndrange n wg))
+      ~args:[ Sim.Device.A_buf inp; A_buf out ]
+  in
+  check Alcotest.bool "finished" true
+    (r.Sim.Device.outcome = Sim.Device.Finished);
+  check Alcotest.bool "output correct" true
+    (Sim.Device.read_i32_array dev out n
+    = Array.init n (fun i -> (data.(i) * 3) + (7 * (i mod wg))));
+  if not (Shadow.clean san) then fail_report "TMR not clean" san
+
+(* A registry benchmark end-to-end through the check harness: static and
+   dynamic verdicts clean across the standard target matrix. FW is the
+   interesting one — its in-place relaxation leans on the benign
+   same-value store exemption. *)
+let test_check_bench_clean () =
+  List.iter
+    (fun id ->
+      let report = Harness.Check.check_bench (Kernels.Registry.find id) in
+      if not (Harness.Check.clean report) then
+        Alcotest.fail (Harness.Check.to_string report))
+    [ "BinS"; "FW" ]
+
+(* ------------------------------------------------------------------ *)
+(* Zero perturbation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let launch_gen ?san seed =
+  let k = Gen_kernel.generate seed in
+  let n = Gen_kernel.n_items in
+  let dev = Sim.Device.create Sim.Config.small in
+  Sim.Device.set_san dev san;
+  let input = Sim.Device.alloc dev (n * 4) in
+  let output = Sim.Device.alloc dev (n * 4) in
+  for i = 0 to n - 1 do
+    Sim.Device.write_i32 dev input i ((i * 2654435761) land 0xFFFF);
+    Sim.Device.write_i32 dev output i 0
+  done;
+  let r =
+    Sim.Device.launch dev k
+      ~nd:(Sim.Geom.make_ndrange n Gen_kernel.wg)
+      ~args:[ Sim.Device.A_buf input; A_buf output; A_i32 12345 ]
+  in
+  (r, Sim.Device.read_i32_array dev output n)
+
+let same_counters what a b =
+  List.iter2
+    (fun (ka, va) (kb, vb) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s: counter %s" what ka)
+        true
+        (ka = kb && va = vb))
+    (Sim.Counters.to_fields a) (Sim.Counters.to_fields b)
+
+let test_sanitizer_does_not_perturb () =
+  List.iter
+    (fun seed ->
+      let plain, out_plain = launch_gen seed in
+      let san = Shadow.create () in
+      let sanitized, out_san = launch_gen ~san seed in
+      check Alcotest.int
+        (Printf.sprintf "seed %d: same cycles" seed)
+        plain.Sim.Device.cycles sanitized.Sim.Device.cycles;
+      same_counters
+        (Printf.sprintf "seed %d" seed)
+        plain.Sim.Device.counters sanitized.Sim.Device.counters;
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: same output" seed)
+        true (out_plain = out_san))
+    [ 2; 5; 9 ]
+
+(* Same property at the harness level, over a multi-pass benchmark and
+   the spin-heavy Inter flavor. *)
+let test_sanitizer_does_not_perturb_bench () =
+  let b = Kernels.Registry.find "BinS" in
+  List.iter
+    (fun variant ->
+      let plain = Harness.Run.run b variant in
+      let san = Shadow.create () in
+      let sanitized = Harness.Run.run ~san b variant in
+      check Alcotest.int "same cycles" plain.Harness.Run.cycles
+        sanitized.Harness.Run.cycles;
+      same_counters (T.name variant) plain.Harness.Run.counters
+        sanitized.Harness.Run.counters;
+      check Alcotest.bool "both verified" true
+        (plain.Harness.Run.verified && sanitized.Harness.Run.verified);
+      check Alcotest.bool "clean" true (Shadow.clean san))
+    [ T.Original; T.inter_group ]
+
+(* ------------------------------------------------------------------ *)
+(* Static SoR-invariant checker                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* ids, LDS, a barrier, and both store kinds *)
+let sor_kernel () =
+  let b = Builder.create "sor" in
+  let out = Builder.buffer_param b "out" in
+  let lds = Builder.lds_alloc b "x" (64 * 4) in
+  let gid = Builder.global_id b 0 in
+  let lid = Builder.local_id b 0 in
+  let slot = Builder.add b lds (Builder.shl b lid (Builder.imm 2)) in
+  Builder.lstore b slot lid;
+  Builder.barrier b;
+  let v = Builder.lload b slot in
+  Builder.gstore_elem b out gid (Builder.add b gid v);
+  Builder.finish b
+
+let test_static_checker_accepts_transformed () =
+  let k0 = sor_kernel () in
+  List.iter
+    (fun (variant, flavor, label) ->
+      let k = T.apply variant ~local_items:64 k0 in
+      match Sor.check flavor k with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s rejected: %s" label (Sor.describe v)))
+    [
+      (T.Original, Sor.F_original, "original");
+      (T.intra_plus_lds, Sor.F_intra_plus, "intra+lds");
+      (T.intra_plus_lds_fast, Sor.F_intra_plus, "intra+lds fast");
+      (T.intra_minus_lds, Sor.F_intra_minus, "intra-lds");
+      (T.intra_minus_lds_fast, Sor.F_intra_minus, "intra-lds fast");
+      (T.inter_group, Sor.F_inter, "inter");
+    ];
+  match Sor.check Sor.F_tmr (Rmt_core.Tmr.transform ~local_items:16 k0) with
+  | [] -> ()
+  | v :: _ -> Alcotest.fail (Printf.sprintf "tmr rejected: %s" (Sor.describe v))
+
+let test_static_checker_flags_elided_comparison () =
+  let k0 = sor_kernel () in
+  let cases =
+    [
+      (* untransformed code claims an RMT contract *)
+      (k0, Sor.F_intra_plus, "untransformed as intra+lds");
+      (* comparison elided: the ablations duplicate but never compare *)
+      ( T.apply
+          (T.Intra { include_lds = true; comm = Rmt_core.Intra_group.Comm_none })
+          ~local_items:64 k0,
+        Sor.F_intra_plus,
+        "intra no-comm" );
+      ( T.apply (T.Inter { comm = false }) ~local_items:64 k0,
+        Sor.F_inter,
+        "inter no-comm" );
+      (* +LDS kernels leave local stores uncompared: the -LDS contract
+         (local stores inside the sphere) must reject them *)
+      ( T.apply T.intra_plus_lds ~local_items:64 k0,
+        Sor.F_intra_minus,
+        "intra+lds under the -LDS contract" );
+    ]
+  in
+  List.iter
+    (fun (k, flavor, label) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s flagged" label)
+        true
+        (Sor.check flavor k <> []))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_rendering () =
+  let san = Shadow.create () in
+  let (_ : int array) =
+    Gen_kernel.run ~defect:Gen_kernel.D_oob_store ~san 1
+  in
+  let text = Report.to_string san in
+  check Alcotest.bool "text names the class" true
+    (let sub = "out-of-bounds" in
+     let rec find i =
+       i + String.length sub <= String.length text
+       && (String.sub text i (String.length sub) = sub || find (i + 1))
+     in
+     find 0);
+  (* JSON survives a round-trip through the tracer's parser *)
+  let j = Json.parse (Json.to_string (Report.to_json san)) in
+  check Alcotest.bool "json clean=false" true
+    (Json.member "clean" j = Some (Json.Bool false));
+  match Json.member "findings" j with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "json findings list missing or empty"
+
+let suite =
+  [
+    tc "seeded defects all flagged" `Quick test_seeded_defects_flagged;
+    tc "rw race reports both sites" `Quick test_rw_race_site_pair;
+    tc "generator corpus clean" `Quick test_generator_corpus_clean;
+    tc "RMT variants clean" `Slow test_rmt_variants_clean;
+    tc "pooled inter clean" `Quick test_pooled_inter_clean;
+    tc "TMR dynamic clean" `Quick test_tmr_dynamic_clean;
+    tc "check harness: BinS and FW clean" `Slow test_check_bench_clean;
+    tc "sanitizer does not perturb" `Quick test_sanitizer_does_not_perturb;
+    tc "sanitizer does not perturb benches" `Slow
+      test_sanitizer_does_not_perturb_bench;
+    tc "static: accepts transformed kernels" `Quick
+      test_static_checker_accepts_transformed;
+    tc "static: flags elided comparison" `Quick
+      test_static_checker_flags_elided_comparison;
+    tc "report rendering + json round-trip" `Quick test_report_rendering;
+  ]
