@@ -178,6 +178,8 @@ let experiments =
     ("occupancy", Harness.Experiments.occupancy);
     ("pool", Harness.Experiments.pool);
     ("devscale", Harness.Experiments.devscale);
+    ("table2static", fun _ctx -> Harness.Experiments.table2static ());
+    ("coststatic", Harness.Experiments.coststatic);
     ("explain", Harness.Experiments.explain);
     ("compare", Harness.Experiments.paper_compare);
     ("export", fun ctx -> Harness.Experiments.export ctx);

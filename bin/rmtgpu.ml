@@ -15,6 +15,10 @@
      check   <bench|file.rgk> [target]  static SoR-invariant check + dynamic
                                  sanitizer run (.rgk files: static only);
                                  exit 1 on findings
+     lint    <bench|file.rgk> [target]  translation validation (simulation
+                                 relation under fault injection) + static
+                                 protection-domain report + cost prediction;
+                                 exit 1 on findings
      exp     <name>              regenerate one table/figure (table1..fig9,
                                  coverage, all)
 
@@ -265,6 +269,79 @@ let do_check subject target scale local json_out =
   | None -> ());
   if not (Harness.Check.clean report) then exit 1
 
+(* ---------------- lint ---------------- *)
+
+let lint_target_conv =
+  let parse s =
+    match Harness.Lint.target_of_string s with
+    | Some t -> Ok (String.lowercase_ascii s, t)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown lint target %s (one of: %s)" s
+               (String.concat ", "
+                  (List.map fst Harness.Lint.standard_targets))))
+  in
+  let print fmt (label, _) = Format.pp_print_string fmt label in
+  Cmdliner.Arg.conv (parse, print)
+
+(* Like check, the lint subject is a registry benchmark id or a path to
+   an .rgk kernel file; both get the full translation validation (the
+   validator brings its own synthetic launch, so no host harness is
+   needed). *)
+let do_lint subject target local max_exp full json_out =
+  let targets =
+    match target with Some t -> [ t ] | None -> Harness.Lint.standard_targets
+  in
+  let max_experiments = if full then max_int else max_exp in
+  let report =
+    if Filename.check_suffix subject ".rgk" || Sys.file_exists subject then (
+      let src =
+        try In_channel.with_open_text subject In_channel.input_all
+        with Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      in
+      let k0 =
+        try Gpu_ir.Parse.kernel_of_string_checked src with
+        | Gpu_ir.Parse.Parse_error (line, msg) ->
+            Printf.eprintf "%s:%d: %s\n" subject line msg;
+            exit 2
+        | Gpu_ir.Verify.Invalid msg ->
+            Printf.eprintf "%s: verification failed: %s\n" subject msg;
+            exit 2
+      in
+      Harness.Lint.lint_kernel ~local_items:local ~max_experiments ~targets
+        ~name:(Filename.basename subject) k0)
+    else
+      match
+        List.find_opt
+          (fun (b : Kernels.Bench.t) ->
+            String.lowercase_ascii b.id = String.lowercase_ascii subject)
+          Kernels.Registry.all
+      with
+      | Some b ->
+          Harness.Lint.lint_bench ~local_items:local ~max_experiments ~targets b
+      | None ->
+          Printf.eprintf
+            "unknown lint subject %s (a benchmark id among: %s — or a path \
+             to an .rgk kernel file)\n"
+            subject
+            (String.concat ", "
+               (List.map (fun (b : Kernels.Bench.t) -> b.id) Kernels.Registry.all));
+          exit 2
+  in
+  print_string (Harness.Lint.to_string report);
+  (match json_out with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (Gpu_trace.Json.to_string (Harness.Lint.to_json report));
+          output_char oc '\n');
+      Printf.printf "lint JSON -> %s\n" path
+  | None -> ());
+  if not (Harness.Lint.clean report) then exit 1
+
 (* ---------------- inject ---------------- *)
 
 let targets =
@@ -459,6 +536,8 @@ let do_exp name quick jobs =
       ("occupancy", fun () -> Harness.Experiments.occupancy ctx);
       ("pool", fun () -> Harness.Experiments.pool ctx);
       ("devscale", fun () -> Harness.Experiments.devscale ctx);
+      ("table2static", fun () -> Harness.Experiments.table2static ());
+      ("coststatic", fun () -> Harness.Experiments.coststatic ctx);
       ("explain", fun () -> Harness.Experiments.explain ctx);
       ("compare", fun () -> Harness.Experiments.paper_compare ctx);
       ("export", fun () -> Harness.Experiments.export ctx);
@@ -480,7 +559,7 @@ let do_exp name quick jobs =
         ( true,
           "unknown experiment (table1-3, fig2-9, coverage, occupancy, \
            explain, opt, tmr, wavesize, naive, schedpolicy, pool, devscale, \
-           compare, export, all)" )
+           table2static, coststatic, compare, export, all)" )
 
 (* ---------------- cmdliner wiring ---------------- *)
 
@@ -666,6 +745,59 @@ let check_cmd =
           kernel file gets the static contract check per target")
     Term.(const do_check $ subject $ target $ scale $ local $ json_out)
 
+let lint_cmd =
+  let subject =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH|FILE.rgk"
+          ~doc:"Registry benchmark id, or path to an .rgk kernel file")
+  in
+  let target =
+    Arg.(
+      value
+      & pos 1 (some lint_target_conv) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Lint a single target (intra+lds, intra-lds, intra+fast, inter, \
+             tmr); default: all five")
+  in
+  let local =
+    Arg.(
+      value & opt int Gpu_tv.Simrel.default_local_items
+      & info [ "local" ] ~docv:"N"
+          ~doc:
+            "Flat work-group size of the validator's synthetic launch (small \
+             by design: every fault experiment re-executes the whole kernel)")
+  in
+  let max_exp =
+    Arg.(
+      value & opt int Harness.Lint.default_max_experiments
+      & info [ "max-exp" ] ~docv:"N"
+          ~doc:"Fault-injection experiments sampled per target")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Run every enumerable fault-injection experiment (no sampling)")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Translation-validate the RMT transforms: check the simulation \
+          relation between original and transformed kernel under fault \
+          injection, derive the static protection-domain matrix and the \
+          cost prediction; exit 1 on findings")
+    Term.(
+      const do_lint $ subject $ target $ local $ max_exp $ full $ json_out)
+
 let perfdiff_cmd =
   let old_path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
@@ -737,7 +869,7 @@ let () =
     Cmd.eval
       (Cmd.group info
          [ list_cmd; dump_cmd; run_cmd; trace_cmd; profile_cmd; inject_cmd;
-           check_cmd; perfdiff_cmd; exp_cmd; runfile_cmd ])
+           check_cmd; lint_cmd; perfdiff_cmd; exp_cmd; runfile_cmd ])
   in
   (* Uniform usage-error code: cmdliner reports unknown subcommands and bad
      arguments (with usage) as 124/125; fold both onto the conventional 2

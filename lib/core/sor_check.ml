@@ -65,10 +65,8 @@ let describe v =
   Printf.sprintf "site %d (%s): %s" v.v_site v.v_inst v.v_reason
 
 (* Registers appearing in a value / an instruction's uses. *)
-let reg_of = function Reg r -> Some r | Imm _ | Imm_f32 _ -> None
-
-let use_regs i =
-  List.filter_map reg_of (inst_uses i)
+let reg_of = Gpu_ir.Slice.reg_of
+let use_regs = Gpu_ir.Slice.use_regs
 
 (* Address arithmetic: instructions through which a channel *address*
    stays a channel address. Anything else (loads, compares, selects)
@@ -92,78 +90,85 @@ let chan_lds_name = function
   | F_tmr -> Some Tmr.comm_lds_name
   | F_original | F_inter -> None
 
+(* Forward taint pass in program (= site) order: [addr_taint] marks
+   registers holding channel addresses, [chan] registers holding data
+   read back over the channel. *)
+let channel_taints (flavor : flavor) (k : kernel) (insts : inst array) =
+  let nsites = Array.length insts in
+  let np = param_count k in
+  let nregs = max k.nregs 1 in
+  let addr_taint = Array.make nregs false in
+  let chan = Array.make nregs false in
+  let lds_chan = chan_lds_name flavor in
+  for s = 0 to nsites - 1 do
+    let i = insts.(s) in
+    (match i with
+    | Special (Lds_base name, d) when Some name = lds_chan ->
+        addr_taint.(d) <- true
+    | Arg (d, idx) when flavor = F_inter && idx >= np - 2 ->
+        addr_taint.(d) <- true
+    | _ -> ());
+    match inst_def i with
+    | Some d ->
+        if is_addr_arith i && List.exists (fun r -> addr_taint.(r)) (use_regs i)
+        then addr_taint.(d) <- true;
+        let channel_read =
+          match i with
+          | Load (_, _, Reg a) | Atomic (_, _, _, Reg a, _)
+          | Cas (_, _, Reg a, _, _) ->
+              addr_taint.(a)
+          | Swizzle _ -> true
+          | _ -> false
+        in
+        if channel_read || List.exists (fun r -> chan.(r)) (use_regs i) then
+          chan.(d) <- true
+    | None -> ()
+  done;
+  (addr_taint, chan)
+
+(** Registers holding channel addresses (the protocol's own slot/flag
+    addressing). The translation validator cuts its injection slices at
+    these: the checking code the transforms insert is not itself
+    replicated, so faults in its addressing are the scheme's documented
+    unprotected residue, not contract violations. *)
+let channel_address_regs (flavor : flavor) (k : kernel) : bool array =
+  let sl = Gpu_ir.Slice.of_kernel k in
+  let addr_taint, _ = channel_taints flavor k sl.Gpu_ir.Slice.insts in
+  addr_taint
+
+(** Sites of the protocol's own publishes into the communication
+    channel: stores/atomics whose target address derives from the
+    channel medium. They are exempt from the per-store contract, and
+    the translation validator classifies any corruption they commit as
+    protocol residue (a misdirected publish ends in a detectable
+    protocol failure, not a silent output). *)
+let channel_publish_sites (flavor : flavor) (k : kernel) : bool array =
+  let sl = Gpu_ir.Slice.of_kernel k in
+  let insts = sl.Gpu_ir.Slice.insts in
+  let addr_taint, _ = channel_taints flavor k insts in
+  Array.map
+    (function
+      | Store (_, Reg r, _)
+      | Atomic (_, _, _, Reg r, _)
+      | Cas (_, _, Reg r, _, _) ->
+          addr_taint.(r)
+      | _ -> false)
+    insts
+
 (** [check flavor k] verifies the SoR contract of [k] under [flavor] and
     returns the violations ([] = contract holds). [k] must be the
     {e transformed} kernel. *)
 let check (flavor : flavor) (k : kernel) : violation list =
   if flavor = F_original then []
   else begin
-    let abody, nsites = Site.annotate k.body in
-    let np = param_count k in
-    let insts = Array.make nsites (Barrier : inst) in
-    let in_if = Array.make nsites false in
-    let rec walk ~guarded ss =
-      List.iter
-        (fun s ->
-          match s with
-          | Site.A_inst (id, i) ->
-              insts.(id) <- i;
-              in_if.(id) <- guarded
-          | Site.A_if (_, t, e) ->
-              walk ~guarded:true t;
-              walk ~guarded:true e
-          | Site.A_while (h, _, b) ->
-              walk ~guarded h;
-              walk ~guarded b)
-        ss
-    in
-    walk ~guarded:false abody;
-    (* ---- forward taint pass, in program (= site) order ---- *)
-    let nregs = max k.nregs 1 in
-    let addr_taint = Array.make nregs false in
-    let chan = Array.make nregs false in
-    let lds_chan = chan_lds_name flavor in
-    for s = 0 to nsites - 1 do
-      let i = insts.(s) in
-      (match i with
-      | Special (Lds_base name, d) when Some name = lds_chan ->
-          addr_taint.(d) <- true
-      | Arg (d, idx) when flavor = F_inter && idx >= np - 2 ->
-          addr_taint.(d) <- true
-      | _ -> ());
-      (match inst_def i with
-      | Some d ->
-          if is_addr_arith i && List.exists (fun r -> addr_taint.(r)) (use_regs i)
-          then addr_taint.(d) <- true;
-          let channel_read =
-            match i with
-            | Load (_, _, Reg a) | Atomic (_, _, _, Reg a, _)
-            | Cas (_, _, Reg a, _, _) ->
-                addr_taint.(a)
-            | Swizzle _ -> true
-            | _ -> false
-          in
-          if channel_read || List.exists (fun r -> chan.(r)) (use_regs i) then
-            chan.(d) <- true
-      | None -> ())
-    done;
+    let sl = Gpu_ir.Slice.of_kernel k in
+    let insts = sl.Gpu_ir.Slice.insts in
+    let in_if = sl.Gpu_ir.Slice.guarded in
+    let nsites = Array.length insts in
+    let addr_taint, chan = channel_taints flavor k insts in
     (* ---- backward register closure from a site ---- *)
-    let closure ~from seeds =
-      let set = Array.make nregs false in
-      List.iter (fun r -> set.(r) <- true) seeds;
-      for t = from - 1 downto 0 do
-        match inst_def insts.(t) with
-        | Some d when set.(d) ->
-            List.iter (fun r -> set.(r) <- true) (use_regs insts.(t))
-        | _ -> ()
-      done;
-      set
-    in
-    let intersects a b =
-      let n = Array.length a in
-      let rec go i = i < n && ((a.(i) && b.(i)) || go (i + 1)) in
-      go 0
-    in
+    let closure ~from seeds = Gpu_ir.Slice.closure sl ~from seeds in
+    let intersects = Gpu_ir.Slice.intersects in
     (* ---- per-store contract ---- *)
     let traps = ref [] in
     (* (site, condition) of every Trap, ascending *)

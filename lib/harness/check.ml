@@ -23,6 +23,7 @@
 module Transform = Rmt_core.Transform
 module Sor_check = Rmt_core.Sor_check
 module Json = Gpu_trace.Json
+module Findings = Gpu_findings.Findings
 
 (** A checkable kernel version: the harness variants, plus TMR (which is
     not a {!Transform.variant} because its tripled launch geometry does
@@ -54,11 +55,28 @@ let flavor_of_target = function
   | T_variant (Transform.Inter _) -> Sor_check.F_inter
   | T_tmr -> Sor_check.F_tmr
 
+(** Why an entry's dynamic check did not run — a machine-readable
+    classification next to the human note, so CI consumers can assert
+    on the skip (e.g. that TMR is static-only by design, not by
+    accident) without parsing prose. *)
+type skip_kind =
+  | Sk_static_only
+      (** by design: the target cannot run the real workload (TMR's
+          tripled group exceeds the wavefront) *)
+  | Sk_no_harness  (** freestanding kernel: no argument/reference harness *)
+  | Sk_not_applicable  (** the transform rejected this kernel *)
+
+let skip_kind_name = function
+  | Sk_static_only -> "static_only"
+  | Sk_no_harness -> "no_harness"
+  | Sk_not_applicable -> "not_applicable"
+
 type entry = {
   e_label : string;
   e_kernel : Gpu_ir.Types.kernel;  (** the kernel the site ids index *)
   e_static : Sor_check.violation list;
   e_shadow : Gpu_san.Shadow.t option;  (** [None] = dynamic check skipped *)
+  e_skip_kind : skip_kind option;
   e_skip_reason : string option;
   e_run_problem : string option;
       (** a sanitized run that did not finish verified is itself a
@@ -67,10 +85,37 @@ type entry = {
 
 type report = { r_bench : string; r_entries : entry list }
 
-let entry_clean e =
-  e.e_static = []
-  && e.e_run_problem = None
-  && match e.e_shadow with Some s -> Gpu_san.Shadow.clean s | None -> true
+(** Every verdict of an entry in the shared findings vocabulary: the
+    static contract violations, the run problem and the sanitizer's
+    findings become one list, which cleanliness, text rendering and the
+    JSON envelope are all derived from — the same plumbing
+    [rmtgpu lint] and the sanitizer report use. *)
+let entry_findings e : Findings.finding list =
+  let static =
+    List.map
+      (fun (v : Sor_check.violation) ->
+        Findings.make ~category:"sor" ~site:v.Sor_check.v_site
+          ~inst:v.Sor_check.v_inst
+          ~space:
+            (match v.Sor_check.v_space with
+            | Gpu_ir.Types.Global -> "global"
+            | Gpu_ir.Types.Local -> "local")
+          v.Sor_check.v_reason)
+      e.e_static
+  in
+  let run =
+    match e.e_run_problem with
+    | Some p -> [ Findings.make ~category:"run" p ]
+    | None -> []
+  in
+  let dynamic =
+    match e.e_shadow with
+    | Some s -> Gpu_san.Report.to_findings ~kernel:e.e_kernel s
+    | None -> []
+  in
+  static @ run @ dynamic
+
+let entry_clean e = Findings.clean (entry_findings e)
 
 let clean r = List.for_all entry_clean r.r_entries
 
@@ -92,6 +137,7 @@ let check_target ?(cfg = Gpu_sim.Config.default) ?(scale = 1)
         e_kernel = kernel;
         e_static = Sor_check.check flavor kernel;
         e_shadow = None;
+        e_skip_kind = Some Sk_static_only;
         e_skip_reason =
           Some
             "dynamic check skipped: TMR requires 3*work-group <= 64 lanes \
@@ -114,6 +160,7 @@ let check_target ?(cfg = Gpu_sim.Config.default) ?(scale = 1)
         e_kernel = kernel;
         e_static = Sor_check.check flavor kernel;
         e_shadow = Some shadow;
+        e_skip_kind = None;
         e_skip_reason = None;
         e_run_problem = problem;
       }
@@ -151,6 +198,8 @@ let check_kernel ?(local_items = 64) ?(targets = standard_targets) ~name
           e_kernel = k;
           e_static = Sor_check.check flavor k;
           e_shadow = None;
+          e_skip_kind =
+            Some (if target = T_tmr then Sk_static_only else Sk_no_harness);
           e_skip_reason = Some dynamic_note;
           e_run_problem = None;
         }
@@ -162,6 +211,7 @@ let check_kernel ?(local_items = 64) ?(targets = standard_targets) ~name
           e_kernel = k0;
           e_static = [];
           e_shadow = None;
+          e_skip_kind = Some Sk_not_applicable;
           e_skip_reason = Some ("transform not applicable: " ^ msg);
           e_run_problem = None;
         }
@@ -176,22 +226,8 @@ let entry_to_string e =
   let buf = Buffer.create 256 in
   let verdict = if entry_clean e then "ok" else "FAIL" in
   Buffer.add_string buf (Printf.sprintf "  %-10s %s\n" e.e_label verdict);
-  List.iter
-    (fun v ->
-      Buffer.add_string buf
-        (Printf.sprintf "    static: %s\n" (Sor_check.describe v)))
-    e.e_static;
-  (match e.e_run_problem with
-  | Some p -> Buffer.add_string buf (Printf.sprintf "    dynamic: %s\n" p)
-  | None -> ());
-  (match e.e_shadow with
-  | Some s when not (Gpu_san.Shadow.clean s) ->
-      String.split_on_char '\n'
-        (Gpu_san.Report.to_string ~kernel:e.e_kernel s)
-      |> List.iter (fun line ->
-             if line <> "" then
-               Buffer.add_string buf (Printf.sprintf "    %s\n" line))
-  | _ -> ());
+  Buffer.add_string buf
+    (Findings.list_to_string ~indent:"    " (entry_findings e));
   (match e.e_skip_reason with
   | Some r -> Buffer.add_string buf (Printf.sprintf "    note: %s\n" r)
   | None -> ());
@@ -205,37 +241,27 @@ let to_string r =
   List.iter (fun e -> Buffer.add_string buf (entry_to_string e)) r.r_entries;
   Buffer.contents buf
 
+(* The shared [{"clean"; "findings"}] envelope, extended with the
+   entry's target label and the structured skip classification (the
+   [skip_kind] field CI asserts on — e.g. TMR must be ["static_only"]). *)
 let entry_to_json e : Json.t =
+  let envelope =
+    match Findings.list_to_json (entry_findings e) with
+    | Json.Obj fields -> fields
+    | _ -> assert false
+  in
   Obj
-    [
-      ("target", Str e.e_label);
-      ("clean", Bool (entry_clean e));
-      ( "static_violations",
-        List
-          (List.map
-             (fun (v : Sor_check.violation) ->
-               Json.Obj
-                 [
-                   ("site", Json.Int v.Sor_check.v_site);
-                   ("inst", Json.Str v.Sor_check.v_inst);
-                   ( "space",
-                     Json.Str
-                       (match v.Sor_check.v_space with
-                       | Gpu_ir.Types.Global -> "global"
-                       | Gpu_ir.Types.Local -> "local") );
-                   ("reason", Json.Str v.Sor_check.v_reason);
-                 ])
-             e.e_static) );
-      ( "dynamic",
-        match e.e_shadow with
-        | Some s -> Gpu_san.Report.to_json ~kernel:e.e_kernel s
-        | None -> Json.Null );
-      ( "skipped",
-        match e.e_skip_reason with Some r -> Json.Str r | None -> Json.Null );
-      ( "run_problem",
-        match e.e_run_problem with Some p -> Json.Str p | None -> Json.Null
-      );
-    ]
+    (("target", Json.Str e.e_label) :: envelope
+    @ [
+        ( "skip_kind",
+          match e.e_skip_kind with
+          | Some k -> Json.Str (skip_kind_name k)
+          | None -> Json.Null );
+        ( "skip_reason",
+          match e.e_skip_reason with
+          | Some r -> Json.Str r
+          | None -> Json.Null );
+      ])
 
 let to_json r : Json.t =
   Obj

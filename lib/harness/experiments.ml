@@ -1277,10 +1277,123 @@ let devscale ctx =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Extension: the static analyzer's reports, reconciled                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Representative LDS-bearing kernel: the LDS row of the matrix is read
+   off real allocations rather than falling back to the flavor policy. *)
+let table2static_bench = "MM"
+
+let table2static () =
+  let b = Kernels.Registry.find table2static_bench in
+  let k0 = b.Kernels.Bench.make_kernel () in
+  let buf = Buffer.create 1024 in
+  Report.heading buf
+    (Printf.sprintf
+       "Static Table 2/3: protection domains derived by gpu_tv (kernel: %s)"
+       table2static_bench);
+  let reports =
+    List.map
+      (fun (_, t) -> Gpu_tv.Domains.of_kernel t k0)
+      Lint.standard_targets
+  in
+  String.split_on_char '\n' (Gpu_tv.Domains.table reports)
+  |> List.iter (fun l -> if l <> "" then Report.row buf "%s" l);
+  let mismatches =
+    List.concat_map
+      (fun (r : Gpu_tv.Domains.report) ->
+        match
+          List.find_opt
+            (fun (_, t) -> Gpu_tv.Simrel.target_name t = r.Gpu_tv.Domains.dr_label)
+            Lint.standard_targets
+        with
+        | None -> []
+        | Some (_, t) -> (
+            match Gpu_tv.Domains.sor_flavor_of_target t with
+            | None -> []
+            | Some f ->
+                List.map
+                  (fun s ->
+                    Printf.sprintf "%s disagrees with Sor.protects on %s"
+                      r.Gpu_tv.Domains.dr_label
+                      (Rmt_core.Sor.structure_name s))
+                  (Gpu_tv.Domains.crosscheck_sor r f)))
+      reports
+  in
+  (match mismatches with
+  | [] ->
+      Report.row buf
+        "(derivation reproduces the declared Sor matrix on every flavor)"
+  | ms -> List.iter (fun m -> Report.row buf "MISMATCH: %s" m) ms);
+  Buffer.contents buf
+
+let coststatic_variants =
+  [
+    ("intra+lds", T.intra_plus_lds);
+    ("intra-lds", T.intra_minus_lds);
+    ("inter", T.inter_group);
+  ]
+
+let measured_of (s : Run.summary) : Gpu_tv.Costmodel.measured =
+  {
+    Gpu_tv.Costmodel.m_usage = s.Run.usage;
+    m_occupancy = s.Run.occupancy;
+    m_global_store_insts = s.Run.counters.Counters.global_store_insts;
+    m_valu_insts = s.Run.counters.Counters.valu_insts;
+    m_lds_insts = s.Run.counters.Counters.lds_insts;
+  }
+
+let coststatic ctx =
+  plan ctx (T.Original :: List.map snd coststatic_variants);
+  let buf = Buffer.create 2048 in
+  Report.heading buf
+    "Extension: static cost model vs measured launches (gpu_tv      reconciliation; stores column is measured/baseline vs the predicted      bound)";
+  Report.row buf "%-8s %-10s %17s %9s %11s  %s" "kernel" "version"
+    "predicted v/s/lds" "occupancy" "stores" "verdict";
+  let disagreements = ref 0 in
+  List.iter
+    (fun (b : Kernels.Bench.t) ->
+      let local = Gpu_sim.Geom.group_items (bench_nd ctx b) in
+      let k0 = b.Kernels.Bench.make_kernel () in
+      let base = get ctx b T.Original in
+      List.iter
+        (fun (name, v) ->
+          let s = get ctx b v in
+          let p =
+            Gpu_tv.Costmodel.predict ~cfg:ctx.cfg ~local_items:local
+              (Gpu_tv.Simrel.V v) k0
+          in
+          let problems =
+            Gpu_tv.Costmodel.reconcile p ~base:(measured_of base)
+              ~rmt:(measured_of s)
+          in
+          disagreements := !disagreements + List.length problems;
+          let dv, ds, dl = Gpu_tv.Costmodel.deltas p in
+          Report.row buf "%-8s %-10s %+6d/%+4d/%+5d %4d->%-4d %9.2fx %s  %s"
+            b.id name dv ds dl
+            p.Gpu_tv.Costmodel.c_occ_base.Gpu_sim.Occupancy.groups_per_cu
+            p.Gpu_tv.Costmodel.c_occ_rmt.Gpu_sim.Occupancy.groups_per_cu
+            (float_of_int s.Run.counters.Counters.global_store_insts
+            /. float_of_int (max 1 base.Run.counters.Counters.global_store_insts))
+            (Gpu_tv.Costmodel.store_bound_string p)
+            (if problems = [] then "ok" else "DISAGREES");
+          List.iter (fun m -> Report.row buf "    %s" m) problems)
+        coststatic_variants)
+    all_benches;
+  Report.row buf
+    "(%d kernels x %d flavors, %d discrepancies; usage and occupancy are"
+    (List.length all_benches)
+    (List.length coststatic_variants)
+    !disagreements;
+  Report.row buf
+    " exact claims, stores an interval, VALU/LDS counts a per-issue floor)";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 
 (** Everything: the paper's evaluation plus the extension studies
     (CSV export is separate — it writes files). *)
 let all ctx =
   all_paper ctx ^ occupancy ctx ^ explain ctx ^ paper_compare ctx
   ^ opt_ablation ctx ^ tmr ctx ^ wavesize ctx ^ naive ctx ^ schedpolicy ctx
-  ^ pool ctx ^ devscale ctx
+  ^ pool ctx ^ devscale ctx ^ table2static () ^ coststatic ctx

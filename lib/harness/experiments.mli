@@ -143,6 +143,15 @@ val explain : ctx -> string
 val devscale : ctx -> string
 (** RMT cost on a 12-CU vs a 32-CU device (the exascale direction). *)
 
+val table2static : unit -> string
+(** The protection-domain matrix re-derived statically by {!Gpu_tv.Domains}
+    from a representative LDS-bearing kernel, cross-checked against the
+    declared {!Rmt_core.Sor} table. *)
+
+val coststatic : ctx -> string
+(** {!Gpu_tv.Costmodel} predictions for every registry kernel,
+    reconciled against the simulator's measured launches. *)
+
 val export : ?dir:string -> ?benches:Kernels.Bench.t list -> ctx -> string
 (** Write the headline figure series as CSV files; returns a report of
     the paths written. *)

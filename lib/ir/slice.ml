@@ -1,0 +1,83 @@
+(** Program-order register dataflow over {!Site} ids. See slice.mli. *)
+
+open Types
+
+type t = {
+  insts : inst array;
+  guarded : bool array;
+  guards : reg list array;
+  nregs : int;
+}
+
+let reg_of = function Reg r -> Some r | Imm _ | Imm_f32 _ -> None
+let use_regs i = List.filter_map reg_of (inst_uses i)
+
+let of_kernel (k : kernel) : t =
+  let abody, nsites = Site.annotate k.body in
+  let insts = Array.make (max nsites 1) (Barrier : inst) in
+  let guarded = Array.make (max nsites 1) false in
+  let guards = Array.make (max nsites 1) [] in
+  let rec walk ~under_if ~gs ss =
+    List.iter
+      (fun s ->
+        match s with
+        | Site.A_inst (id, i) ->
+            insts.(id) <- i;
+            guarded.(id) <- under_if;
+            guards.(id) <- gs
+        | Site.A_if (c, t, e) ->
+            let gs' = match reg_of c with Some r -> r :: gs | None -> gs in
+            walk ~under_if:true ~gs:gs' t;
+            walk ~under_if:true ~gs:gs' e
+        | Site.A_while (h, c, b) ->
+            (* header defs also depend on the trip count, i.e. on [c] *)
+            let gs' = match reg_of c with Some r -> r :: gs | None -> gs in
+            walk ~under_if ~gs:gs' h;
+            walk ~under_if ~gs:gs' b)
+      ss
+  in
+  walk ~under_if:false ~gs:[] abody;
+  { insts; guarded; guards; nregs = max k.nregs 1 }
+
+let closure t ~from seeds =
+  let set = Array.make t.nregs false in
+  List.iter (fun r -> set.(r) <- true) seeds;
+  for s = from - 1 downto 0 do
+    match inst_def t.insts.(s) with
+    | Some d when set.(d) ->
+        List.iter (fun r -> set.(r) <- true) (use_regs t.insts.(s))
+    | _ -> ()
+  done;
+  set
+
+let intersects a b =
+  let n = Array.length a in
+  let rec go i = i < n && ((a.(i) && b.(i)) || go (i + 1)) in
+  go 0
+
+let slice_sites ?(control = true) ?(cut = fun _ -> false) t ~seeds =
+  let n = Array.length t.insts in
+  let inr = Array.make t.nregs false in
+  List.iter (fun r -> if r < t.nregs then inr.(r) <- true) seeds;
+  let marked = Array.make n false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = n - 1 downto 0 do
+      match inst_def t.insts.(s) with
+      | Some d when inr.(d) && not (cut d) ->
+          if not marked.(s) then begin
+            marked.(s) <- true;
+            changed := true
+          end;
+          let deps =
+            if control then use_regs t.insts.(s) @ t.guards.(s)
+            else use_regs t.insts.(s)
+          in
+          List.iter
+            (fun r -> if not inr.(r) then (inr.(r) <- true; changed := true))
+            deps
+      | _ -> ()
+    done
+  done;
+  marked

@@ -1,0 +1,52 @@
+(** Program-order register dataflow over {!Site} ids.
+
+    A thin static-analysis substrate shared by the SoR contract checker
+    ({!Rmt_core.Sor_check}) and the translation validator ([gpu_tv]):
+    the kernel flattened to a site-indexed instruction array with
+    control context, backward register closures from a program point,
+    and a flow-insensitive slice used to bound fault-injection sites. *)
+
+open Types
+
+type t = {
+  insts : inst array;  (** site id → instruction (program order) *)
+  guarded : bool array;  (** site lies under at least one [If] *)
+  guards : reg list array;
+      (** condition registers of the [If]/[While] statements enclosing
+          each site (innermost last) *)
+  nregs : int;
+}
+
+val of_kernel : kernel -> t
+
+val reg_of : value -> reg option
+(** The register behind a value, if any. *)
+
+val use_regs : inst -> reg list
+(** Registers among an instruction's source operands. *)
+
+val closure : t -> from:int -> reg list -> bool array
+(** [closure t ~from seeds] is the backward register closure of [seeds]
+    at site [from]: walking program order backwards, every register
+    used by a definition of a register already in the set joins the
+    set. Straight-line precise; loops are not re-entered (callers use
+    it on the transforms' straight-line guard code). *)
+
+val intersects : bool array -> bool array -> bool
+
+val slice_sites :
+  ?control:bool -> ?cut:(reg -> bool) -> t -> seeds:reg list -> bool array
+(** [slice_sites t ~seeds] marks every site whose destination register
+    can reach one of [seeds] through data dependence (and, with
+    [control] — the default — control dependence on enclosing branch
+    conditions), iterated to a fixpoint without regard to program
+    order — a sound over-approximation even through loops. The
+    validator uses the data-only slice to restrict fault-injection
+    experiments to sites that can flow into an exiting store.
+
+    A register satisfying [cut] is an opaque boundary: its defining
+    site is neither marked nor traversed through. The validator cuts
+    at channel-address registers — the comparison/vote code the RMT
+    transforms insert is not itself replicated, so faults in its
+    addressing lie outside the contract (the paper's
+    unprotected-checker residue). *)

@@ -157,6 +157,17 @@ let aggregate (records : t list) : agg =
     records;
   List.filter (fun (_, p) -> p.injected > 0) slots
 
+(** Per-structure campaign coverage as
+    [(structure, injected, consumed, detected)] — the shape the static
+    protection-domain report cross-checks against: a structure inside a
+    flavor's sphere of replication must not show consumed-but-undetected
+    faults, and a structure with [injected = 0] was simply never
+    exercised (a coverage gap, not evidence either way). *)
+let coverage (a : agg) : (structure * int * int * int) list =
+  List.map
+    (fun (s, p) -> (s, p.injected, p.consumed, p.detected_n))
+    a
+
 let agg_to_string (a : agg) =
   let b = Buffer.create 512 in
   List.iter

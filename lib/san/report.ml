@@ -1,10 +1,15 @@
 (** Render sanitizer findings as a human-readable listing and as JSON.
 
-    Both renderers can resolve site ids to instruction text when given
+    The renderers translate {!Shadow} findings into the shared
+    {!Gpu_findings.Findings} vocabulary (one severity ranking, one JSON
+    envelope, one exit-code policy across [check], [lint] and the
+    sanitizer) and can resolve site ids to instruction text when given
     the kernel the shadow observed ({!Gpu_ir.Site} ids are dense program
     order, so [Site.insts] maps id → instruction directly). *)
 
 open Shadow
+module Findings = Gpu_findings.Findings
+module Json = Gpu_trace.Json
 
 let inst_text insts site =
   if site < 0 then "<host>"
@@ -26,41 +31,7 @@ let space_name = function
   | Gpu_ir.Types.Global -> "global"
   | Gpu_ir.Types.Local -> "LDS"
 
-(** Human-readable multi-line report. [kernel], when given, lets the
-    report print the instruction behind each site id. *)
-let to_string ?kernel t =
-  let insts = Option.map Gpu_ir.Site.insts kernel in
-  let fs = findings t in
-  let buf = Buffer.create 256 in
-  if fs = [] then Buffer.add_string buf "sanitizer: clean (0 findings)\n"
-  else begin
-    Buffer.add_string buf
-      (Printf.sprintf "sanitizer: %d finding(s)\n" (List.length fs));
-    List.iteri
-      (fun i f ->
-        Buffer.add_string buf
-          (Printf.sprintf "#%d %s on %s word 0x%x (%d occurrence%s)\n"
-             (i + 1) (cls_name f.f_class) (space_name f.f_space) f.f_addr
-             f.f_count
-             (if f.f_count = 1 then "" else "s"));
-        (match f.f_first with
-        | Some a ->
-            Buffer.add_string buf
-              (Printf.sprintf "   first:  %s\n" (access_text insts a))
-        | None -> ());
-        Buffer.add_string buf
-          (Printf.sprintf "   %s %s\n"
-             (if f.f_first = None then "access:" else "second:")
-             (access_text insts f.f_second)))
-      fs
-  end;
-  Buffer.contents buf
-
-(* ------------------------------------------------------------------ *)
-(* JSON                                                                *)
-(* ------------------------------------------------------------------ *)
-
-let json_of_access insts (a : access) : Gpu_trace.Json.t =
+let json_of_access insts (a : access) : Json.t =
   Obj
     [
       ("site", Int a.a_site);
@@ -71,25 +42,51 @@ let json_of_access insts (a : access) : Gpu_trace.Json.t =
       ("epoch", Int a.a_epoch);
     ]
 
-let json_of_finding insts (f : finding) : Gpu_trace.Json.t =
-  Obj
-    [
-      ("class", Str (cls_id f.f_class));
-      ("space", Str (space_name f.f_space));
-      ("addr", Int f.f_addr);
-      ( "first",
-        match f.f_first with
-        | Some a -> json_of_access insts a
-        | None -> Gpu_trace.Json.Null );
-      ("second", json_of_access insts f.f_second);
-      ("count", Int f.f_count);
-    ]
-
-let to_json ?kernel t : Gpu_trace.Json.t =
+(** Each sanitizer finding as a generic {!Findings.finding}: the class
+    id becomes the category, the flagging access anchors the site, and
+    the conflicting accesses travel both as human-readable notes and as
+    structured JSON detail. *)
+let to_findings ?kernel t : Findings.finding list =
   let insts = Option.map Gpu_ir.Site.insts kernel in
-  let fs = findings t in
-  Obj
-    [
-      ("clean", Bool (fs = []));
-      ("findings", List (List.map (json_of_finding insts) fs));
-    ]
+  List.map
+    (fun (f : finding) ->
+      let notes =
+        (match f.f_first with
+        | Some a -> [ "first:  " ^ access_text insts a ]
+        | None -> [])
+        @ [
+            (if f.f_first = None then "access: " else "second: ")
+            ^ access_text insts f.f_second;
+          ]
+      in
+      Findings.make ~category:(cls_id f.f_class)
+        ~site:f.f_second.a_site
+        ~inst:(inst_text insts f.f_second.a_site)
+        ~space:(space_name f.f_space)
+        ~detail:
+          [
+            ("class", Json.Str (cls_id f.f_class));
+            ("addr", Json.Int f.f_addr);
+            ( "first",
+              match f.f_first with
+              | Some a -> json_of_access insts a
+              | None -> Json.Null );
+            ("second", json_of_access insts f.f_second);
+            ("count", Int f.f_count);
+          ]
+        ~notes
+        (Printf.sprintf "%s on %s word 0x%x (%d occurrence%s)"
+           (cls_name f.f_class) (space_name f.f_space) f.f_addr f.f_count
+           (if f.f_count = 1 then "" else "s")))
+    (findings t)
+
+(** Human-readable multi-line report. [kernel], when given, lets the
+    report print the instruction behind each site id. *)
+let to_string ?kernel t =
+  let fs = to_findings ?kernel t in
+  if fs = [] then "sanitizer: clean (0 findings)\n"
+  else
+    Printf.sprintf "sanitizer: %d finding(s)\n%s" (List.length fs)
+      (Findings.list_to_string fs)
+
+let to_json ?kernel t : Json.t = Findings.list_to_json (to_findings ?kernel t)

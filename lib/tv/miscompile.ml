@@ -1,0 +1,111 @@
+(** Seeded miscompiles: negative fixtures for the translation
+    validator.
+
+    Each mode surgically breaks the Intra-Group store guard of a
+    {e transformed} kernel in a way a buggy compiler pass plausibly
+    would, while keeping the kernel structurally well-formed
+    ({!Gpu_ir.Verify.check} still passes). The simulation relation must
+    reject every one of them, naming the offending store:
+
+    - [Drop_compare]: the output comparison ([Trap]) is deleted — the
+      consumer still loads the twin's copies but nothing checks them,
+      so a consumer-side fault commits silently;
+    - [One_twin_store]: the producer twin also commits the store,
+      before any comparison — a producer-side fault reaches memory
+      directly;
+    - [Swap_operand]: the value comparison is rewritten to compare the
+      consumer's own copy against itself (a classic operand-swap slip),
+      making it tautologically quiet — value corruption escapes while
+      the address check still fires;
+    - [Stale_shadow]: the producer's channel deposit is moved {e after}
+      the consumer's check, so the consumer always compares against the
+      stale (previous or never-written) LDS shadow — the guard traps on
+      the very first fault-free store. *)
+
+open Gpu_ir.Types
+
+type mode = Drop_compare | One_twin_store | Swap_operand | Stale_shadow
+
+let mode_name = function
+  | Drop_compare -> "drop-compare"
+  | One_twin_store -> "one-twin-store"
+  | Swap_operand -> "swap-operand"
+  | Stale_shadow -> "stale-shadow"
+
+let all_modes = [ Drop_compare; One_twin_store; Swap_operand; Stale_shadow ]
+
+exception No_target of string
+(** The kernel has no guard of the shape the surgery targets. *)
+
+(* The producer half of an Intra-Group guard: a branch of nothing but
+   channel deposits (local stores). *)
+let is_deposit = function
+  | [] -> false
+  | ss ->
+      List.for_all
+        (function I (Store (Local, _, _)) -> true | _ -> false)
+        ss
+
+let rec contains_trap = function
+  | [] -> false
+  | I (Trap _) :: _ -> true
+  | _ :: rest -> contains_trap rest
+
+(* The consumer half: loads/compares, a trap, then the checked store. *)
+let rec checked_store_after_trap = function
+  | [] -> None
+  | I (Trap _) :: rest ->
+      List.fold_left
+        (fun acc s -> match s with I (Store _ as st) -> Some st | _ -> acc)
+        None rest
+  | _ :: rest -> checked_store_after_trap rest
+
+let is_consumer ss = checked_store_after_trap ss <> None
+
+(** [apply mode k] returns [k] with one guard broken (the first one the
+    surgery's shape matches, in program order).
+    @raise No_target when no guard matches. *)
+let apply (mode : mode) (k : kernel) : kernel =
+  let hit = ref false in
+  let rec walk (ss : stmt list) : stmt list =
+    match ss with
+    | If (c1, t1, e1) :: If (c2, t2, e2) :: rest
+      when (not !hit)
+           && (mode = One_twin_store || mode = Stale_shadow)
+           && is_deposit t1 && is_consumer t2 ->
+        hit := true;
+        (match mode with
+        | One_twin_store ->
+            let st =
+              match checked_store_after_trap t2 with
+              | Some st -> st
+              | None -> assert false
+            in
+            If (c1, t1 @ [ I st ], e1) :: If (c2, t2, e2) :: rest
+        | Stale_shadow -> If (c2, t2, e2) :: If (c1, t1, e1) :: rest
+        | _ -> assert false)
+    | I (Trap _) :: rest when mode = Drop_compare && not !hit ->
+        hit := true;
+        rest
+    | I (Icmp (Ine, d, _, b)) :: rest
+      when mode = Swap_operand && (not !hit) && contains_trap rest ->
+        hit := true;
+        I (Icmp (Ine, d, b, b)) :: rest
+    | If (c, t, e) :: rest ->
+        let t = walk t in
+        let e = walk e in
+        If (c, t, e) :: walk rest
+    | While (h, c, b) :: rest ->
+        let h = walk h in
+        let b = walk b in
+        While (h, c, b) :: walk rest
+    | s :: rest -> s :: walk rest
+    | [] -> []
+  in
+  let body = walk k.body in
+  if not !hit then
+    raise
+      (No_target
+         (Printf.sprintf "%s: no matching store guard in %s" (mode_name mode)
+            k.kname));
+  { k with kname = k.kname ^ "!" ^ mode_name mode; body }

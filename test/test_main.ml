@@ -16,4 +16,5 @@ let () =
       ("trace", Test_trace.suite);
       ("prof", Test_prof.suite);
       ("san", Test_san.suite);
+      ("tv", Test_tv.suite);
     ]

@@ -171,6 +171,34 @@ let test_optimize_idempotent () =
   let o2 = Opt.optimize o1 in
   check Alcotest.bool "fixed point" true (o1.Types.body = o2.Types.body)
 
+(* Property over the fuzz corpus, seeded defects included: a kernel with
+   a planted race or out-of-bounds store is still well-formed IR, and
+   the optimizer must (a) keep it {!Verify.check}-clean and (b) reach a
+   fixed point in one application. *)
+let test_fuzz_optimize_idempotent_verified () =
+  for seed = 1 to 10 do
+    List.iter
+      (fun (what, k) ->
+        Verify.check k;
+        let o1 = Opt.optimize k in
+        (match Verify.check_result o1 with
+        | Ok () -> ()
+        | Error e ->
+            Alcotest.fail
+              (Printf.sprintf "optimized %s (seed %d) fails Verify: %s" what
+                 seed e));
+        let o2 = Opt.optimize o1 in
+        if o1.Types.body <> o2.Types.body then
+          Alcotest.fail
+            (Printf.sprintf "optimize not idempotent on %s (seed %d)" what
+               seed))
+      (("clean", Gen_kernel.generate seed)
+      :: List.map
+           (fun d ->
+             (Gen_kernel.defect_name d, Gen_kernel.generate ~defect:d seed))
+           Gen_kernel.all_defects)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing                                                *)
 (* ------------------------------------------------------------------ *)
@@ -233,6 +261,8 @@ let suite =
     tc "copyprop: loop safety" `Quick test_copy_prop_respects_loops;
     tc "optimizer shrinks RMT kernels" `Quick test_optimizer_shrinks_rmt_kernels;
     tc "optimize idempotent" `Quick test_optimize_idempotent;
+    tc "fuzz: idempotent + Verify-clean" `Quick
+      test_fuzz_optimize_idempotent_verified;
     tc "fuzz: optimizer differential" `Slow test_fuzz_optimizer;
     tc "fuzz: RMT differential" `Slow test_fuzz_rmt_variants;
     tc "fuzz: RMT + optimizer" `Slow test_fuzz_rmt_plus_optimizer;
